@@ -1,0 +1,19 @@
+"""Shared table formatting for the benchmark harness.
+
+Thin wrapper over :mod:`repro.reporting` so benches and the library render
+identically.  Every bench prints the rows/series of the paper artifact it
+reproduces (run ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+records the headline numbers in ``benchmark.extra_info`` so they land in
+the pytest-benchmark JSON as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.reporting import render_table
+
+
+def emit(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a table (visible with ``pytest -s`` and in failure output)."""
+    print(render_table(title, header, rows))

@@ -1,0 +1,93 @@
+"""Figure 1 / Lemma 2.4 — the trivial replication strategy wastes capacity.
+
+Paper claim: on bins ``[2, 1, 1]`` with k = 2, a trivial strategy (two fair
+draws) misses the big bin with probability ``1/2 * 1/3 = 1/6``, wasting
+1/6 of the big bin and 1/12 of the overall capacity, while an optimal
+strategy uses the big bin for *every* ball.  Lemma 2.4 generalises: any bin
+(1+eps) bigger than the next is under-loaded for every eps < 1.
+
+This bench reproduces the exact 1/6 and 1/12 numbers (analytically and
+empirically), shows Redundant Share hitting the big bin every time, and
+sweeps the skew to show the waste growing with heterogeneity.
+"""
+
+from collections import Counter
+
+import pytest
+
+from _tables import emit
+from repro.core import RedundantShare
+from repro.placement import (
+    TrivialReplication,
+    trivial_miss_probability,
+    trivial_wasted_fraction,
+)
+from repro.types import bins_from_capacities
+
+BALLS = 40_000
+
+
+def run_figure1():
+    capacities = [2, 1, 1]
+    bins = bins_from_capacities(capacities)
+    trivial = TrivialReplication(bins, copies=2)
+    redundant = RedundantShare(bins, copies=2)
+
+    trivial_misses = sum(
+        1 for address in range(BALLS) if "bin-0" not in trivial.place(address)
+    )
+    redundant_misses = sum(
+        1 for address in range(BALLS) if "bin-0" not in redundant.place(address)
+    )
+    return {
+        "analytic_miss": trivial_miss_probability(capacities, 2, 0),
+        "empirical_miss": trivial_misses / BALLS,
+        "redundant_miss": redundant_misses / BALLS,
+        "waste": trivial_wasted_fraction(capacities, 2),
+    }
+
+
+def test_fig1_trivial_waste(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    emit(
+        "Figure 1: trivial strategy on bins [2, 1, 1], k=2",
+        ["quantity", "paper", "measured"],
+        [
+            ["P(big bin missed), analytic", "1/6 = 0.1667", f"{result['analytic_miss']:.4f}"],
+            ["P(big bin missed), empirical", "1/6 = 0.1667", f"{result['empirical_miss']:.4f}"],
+            ["P(big bin missed), Redundant Share", "0", f"{result['redundant_miss']:.4f}"],
+            ["overall capacity wasted", "1/12 = 0.0833", f"{result['waste']:.4f}"],
+        ],
+    )
+    benchmark.extra_info.update(result)
+
+    assert result["analytic_miss"] == pytest.approx(1 / 6)
+    assert result["empirical_miss"] == pytest.approx(1 / 6, abs=0.01)
+    assert result["redundant_miss"] == 0.0
+    assert result["waste"] == pytest.approx(1 / 12)
+
+
+def run_skew_sweep():
+    rows = []
+    for eps in (0.0, 0.25, 0.5, 0.75, 1.0):
+        big = int(100 * (1 + eps))
+        capacities = sorted([big, 100, 100, 100], reverse=True)
+        rows.append(
+            (eps, capacities[0], trivial_wasted_fraction(capacities, 2))
+        )
+    return rows
+
+
+def test_fig1_waste_grows_with_skew(benchmark):
+    rows = benchmark.pedantic(run_skew_sweep, rounds=1, iterations=1)
+    emit(
+        "Lemma 2.4: trivial-strategy waste vs biggest-bin skew (k=2)",
+        ["eps", "biggest bin", "wasted fraction"],
+        [(f"{eps:.2f}", big, f"{waste:.4f}") for eps, big, waste in rows],
+    )
+    wastes = [waste for _, _, waste in rows]
+    # Waste is zero for homogeneous bins and strictly grows with eps > 0.
+    assert wastes[0] == pytest.approx(0.0, abs=1e-9)
+    assert all(b >= a - 1e-12 for a, b in zip(wastes, wastes[1:]))
+    assert wastes[-1] > 0.01

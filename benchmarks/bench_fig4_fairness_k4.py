@@ -1,0 +1,61 @@
+"""Figure 4 — k-replication fairness for k = 4.
+
+Same growth scenario as Figure 2 (8 -> 10 -> 12 -> 10 -> 8 heterogeneous
+disks), but with 4-fold replication: "As can be seen, all tests resulted in
+completely fair distributions."
+"""
+
+import pytest
+
+from _tables import emit
+from repro.core import RedundantShare
+from repro.simulation import paper_growth_steps, run_fairness
+
+BALLS = 12_000
+BASE = 5_000
+STEP = 1_000
+COPIES = 4
+
+
+def run_figure4():
+    steps = paper_growth_steps(base=BASE, step=STEP)
+    return steps, run_fairness(
+        steps,
+        lambda bins: RedundantShare(bins, copies=COPIES),
+        balls=BALLS,
+    )
+
+
+def test_fig4_fairness_heterogeneous_k4(benchmark):
+    steps, results = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    disks = sorted({disk for result in results for disk in result.fills})
+    rows = []
+    for disk in disks:
+        row = [disk]
+        for result in results:
+            row.append(
+                f"{result.fills[disk]:.2f}" if disk in result.fills else "-"
+            )
+        rows.append(row)
+    rows.append(["(spread)"] + [f"{result.spread:.2f}" for result in results])
+    emit(
+        "Figure 4: % used per bin, k-replication k=4 "
+        "(columns: 8 -> 10 -> 12 -> 10 -> 8 disks)",
+        ["disk"] + [step.label for step in steps],
+        rows,
+    )
+
+    for result in results:
+        mean = sum(result.fills.values()) / len(result.fills)
+        benchmark.extra_info[result.label] = round(result.spread / mean, 4)
+        assert result.spread < 0.12 * mean, (
+            f"{result.label}: fill spread {result.spread:.2f}% vs mean "
+            f"{mean:.2f}%"
+        )
+
+    # Redundancy sanity at k=4: every placement uses 4 distinct disks.
+    strategy = RedundantShare(list(steps[0].bins), copies=COPIES)
+    for address in range(500):
+        placement = strategy.place(address)
+        assert len(set(placement)) == COPIES

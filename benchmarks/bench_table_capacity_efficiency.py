@@ -1,0 +1,94 @@
+"""Lemmas 2.1/2.2 — capacity efficiency of strategies vs the optimum.
+
+For a set of heterogeneous capacity vectors this bench reports:
+
+* ``B_max`` — the provable maximum number of storable balls (Lemma 2.2,
+  computed both by Algorithm 1 and by water-filling, asserted equal);
+* the expected *achievable* balls under the trivial strategy — reduced by
+  the Lemma 2.4 under-loading of big bins;
+* the expected achievable balls under Redundant Share — equal to ``B_max``
+  because the clipped shares are met exactly.
+
+"Achievable balls" for a strategy: the ball count at which the first bin
+overflows in expectation, i.e. ``min_i capacity_i / (k * share_i)``.
+"""
+
+import pytest
+
+from _tables import emit
+from repro.capacity import clip_capacities, max_balls, optimal_weights
+from repro.core import RedundantShare
+from repro.placement import TrivialReplication
+from repro.types import bins_from_capacities
+
+VECTORS = [
+    [2, 1, 1],
+    [4, 2, 1, 1],
+    [10, 6, 1],
+    [8, 8, 8, 8],
+    [100, 6, 1],
+    [12, 9, 6, 3, 2],
+]
+COPIES = 2
+
+
+def achievable_balls(capacities, shares):
+    """Balls storable before the first bin overflows in expectation."""
+    best = float("inf")
+    for capacity, share in zip(capacities, shares):
+        if share <= 0:
+            continue
+        best = min(best, capacity / (COPIES * share))
+    return best
+
+
+def run_table():
+    rows = []
+    for capacities in VECTORS:
+        ordered = sorted(capacities, reverse=True)
+        bins = bins_from_capacities(ordered)
+        optimum = max_balls(ordered, COPIES)
+        assert clip_capacities(ordered, COPIES) == pytest.approx(
+            optimal_weights(ordered, COPIES)
+        )
+
+        trivial = TrivialReplication(bins, copies=COPIES)
+        trivial_shares = [
+            trivial.expected_shares()[spec.bin_id] for spec in bins
+        ]
+        redundant = RedundantShare(bins, copies=COPIES)
+        redundant_shares = [
+            redundant.expected_shares()[spec.bin_id] for spec in bins
+        ]
+        rows.append(
+            (
+                ordered,
+                optimum,
+                achievable_balls(ordered, trivial_shares),
+                achievable_balls(ordered, redundant_shares),
+            )
+        )
+    return rows
+
+
+def test_capacity_efficiency_table(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+
+    emit(
+        "Capacity efficiency (k=2): balls storable before first overflow",
+        ["capacities", "B_max (Lemma 2.2)", "trivial", "redundant share"],
+        [
+            (str(vector), optimum, f"{trivial:.2f}", f"{redundant:.2f}")
+            for vector, optimum, trivial, redundant in rows
+        ],
+    )
+
+    for vector, optimum, trivial, redundant in rows:
+        # Redundant Share achieves the Lemma 2.2 optimum (up to rounding).
+        assert redundant == pytest.approx(optimum, rel=0.02), vector
+        # The trivial strategy never beats it ...
+        assert trivial <= redundant + 1e-6, vector
+        heterogenous = len(set(vector)) > 1
+        if heterogenous:
+            # ... and strictly under-uses heterogeneous systems (Lemma 2.4).
+            assert trivial < optimum * 0.999, vector

@@ -1,0 +1,75 @@
+"""Durability value of the redundancy property (extension table).
+
+The paper motivates replication by data loss on device failure; this bench
+quantifies it: MTTDL (mean time to data loss) for the redundancy schemes
+the library implements, from the exact Markov model, cross-checked by
+discrete-event simulation.  Units: days, with MTTF = 1000 days and
+MTTR = 1 day per device.
+"""
+
+import pytest
+
+from _tables import emit
+from repro.analysis import DurabilityModel, mttdl, simulate_mttdl
+
+MTTF = 1000.0
+MTTR = 1.0
+
+SCHEMES = {
+    "no redundancy (k=1)": DurabilityModel(1, 0, MTTF, MTTR),
+    "mirror k=2": DurabilityModel(2, 1, MTTF, MTTR),
+    "mirror k=3": DurabilityModel(3, 2, MTTF, MTTR),
+    "single parity (4+1)": DurabilityModel(5, 1, MTTF, MTTR),
+    "RS / EVENODD / RDP (4+2)": DurabilityModel(6, 2, MTTF, MTTR),
+}
+
+
+def run_table():
+    return {name: mttdl(model) for name, model in SCHEMES.items()}
+
+
+def test_durability_table(benchmark):
+    values = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    emit(
+        f"MTTDL per redundancy group (MTTF={MTTF:.0f}d, MTTR={MTTR:.0f}d)",
+        ["scheme", "MTTDL (days)", "MTTDL (years)"],
+        [
+            (name, f"{days:,.0f}", f"{days / 365.25:,.1f}")
+            for name, days in values.items()
+        ],
+    )
+    benchmark.extra_info.update(
+        {name: round(days, 1) for name, days in values.items()}
+    )
+
+    # Qualitative shape: each added failure tolerance buys orders of
+    # magnitude; parity codes sit between the mirrors of equal tolerance
+    # (more devices => more exposure).
+    assert values["no redundancy (k=1)"] == pytest.approx(MTTF)
+    assert values["mirror k=2"] > 100 * values["no redundancy (k=1)"]
+    assert values["mirror k=3"] > 100 * values["mirror k=2"]
+    assert (
+        values["mirror k=2"]
+        > values["single parity (4+1)"]
+        > values["no redundancy (k=1)"]
+    )
+    assert values["mirror k=3"] > values["RS / EVENODD / RDP (4+2)"]
+    assert values["RS / EVENODD / RDP (4+2)"] > values["mirror k=2"]
+
+
+def test_simulation_validates_model(benchmark):
+    model = DurabilityModel(2, 1, 100.0, 10.0)
+
+    def experiment():
+        return mttdl(model), simulate_mttdl(model, runs=400, seed=9)
+
+    analytic, simulated = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "Markov model vs discrete-event simulation (mirror k=2, "
+        "MTTF=100, MTTR=10)",
+        ["method", "MTTDL"],
+        [("analytic", f"{analytic:.1f}"), ("simulated", f"{simulated:.1f}")],
+    )
+    benchmark.extra_info["analytic"] = round(analytic, 2)
+    benchmark.extra_info["simulated"] = round(simulated, 2)
+    assert simulated == pytest.approx(analytic, rel=0.2)

@@ -1,0 +1,108 @@
+"""The conclusion's open problem, measured.
+
+"We also believe that it should be possible to construct placement
+strategies that are O(k)-competitive for arbitrary insertions and removals
+of storage devices.  Is this true and is this the best bound one can
+achieve?"
+
+This bench pits :class:`repro.core.BalancedRendezvous` (calibrated top-k
+rendezvous with pinned saturated bins) against Redundant Share on the
+heterogeneous pool, measuring fairness residual and *set-based* movement
+(copies that must physically move under optimal position relabeling) for a
+device insertion and a removal.  Expected shape: balanced rendezvous moves
+close to the optimum (factor ~1), at the cost of a small fairness residual
+and of positional churn — evidence that the conjectured bound is
+achievable when positions may be relabeled, while Redundant Share keeps
+exact fairness and stable positions.
+"""
+
+import collections
+
+import pytest
+
+from _tables import emit
+from repro.core import BalancedRendezvous, RedundantShare
+from repro.metrics import compare_strategies
+from repro.types import BinSpec, bins_from_capacities
+
+CAPACITIES = [800, 700, 600, 500, 400, 300]
+COPIES = 2
+BALLS = 20_000
+
+
+def evaluate(factory):
+    bins = bins_from_capacities(CAPACITIES)
+    strategy = factory(bins)
+    counts = collections.Counter()
+    for address in range(BALLS):
+        counts.update(strategy.place(address))
+    deviation = max(
+        abs(counts[bin_id] / (COPIES * BALLS) - share)
+        for bin_id, share in strategy.expected_shares().items()
+    )
+
+    grown = factory(bins + [BinSpec("bin-new", 600)])
+    add = compare_strategies(strategy, grown, range(5000), ["bin-new"])
+    shrunk = factory(bins[:-1])
+    remove = compare_strategies(strategy, shrunk, range(5000), ["bin-5"])
+
+    def set_factor(report):
+        return report.moved_set / max(1, report.used_on_affected)
+
+    def pos_factor(report):
+        return report.moved_positional / max(1, report.used_on_affected)
+
+    return (
+        deviation,
+        set_factor(add),
+        set_factor(remove),
+        pos_factor(add),
+    )
+
+
+def run_comparison():
+    return {
+        "redundant-share": evaluate(
+            lambda bins: RedundantShare(bins, copies=COPIES)
+        ),
+        "balanced-rendezvous": evaluate(
+            lambda bins: BalancedRendezvous(bins, copies=COPIES)
+        ),
+    }
+
+
+def test_future_work_open_problem(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit(
+        "Open problem (conclusion): set-movement competitiveness "
+        "(optimum = 1.0) vs fairness residual",
+        [
+            "strategy",
+            "fairness deviation",
+            "add: set x-opt",
+            "remove: set x-opt",
+            "add: positional x-opt",
+        ],
+        [
+            (
+                name,
+                f"{deviation:.3%}",
+                f"{add_set:.2f}",
+                f"{rem_set:.2f}",
+                f"{add_pos:.2f}",
+            )
+            for name, (deviation, add_set, rem_set, add_pos) in results.items()
+        ],
+    )
+    for name, values in results.items():
+        benchmark.extra_info[name] = [round(v, 4) for v in values]
+
+    rs = results["redundant-share"]
+    br = results["balanced-rendezvous"]
+    # Redundant Share: exact fairness.
+    assert rs[0] < 0.01
+    # Balanced rendezvous: small residual, much lower set movement.
+    assert br[0] < 0.03
+    assert br[1] < rs[1]  # insertion set-movement beats Redundant Share
+    assert br[1] < 1.7  # ... and approaches the optimum of 1.0
+    assert br[2] < 2.2

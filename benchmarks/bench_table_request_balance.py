@@ -1,0 +1,85 @@
+"""Request fairness — the second half of the paper's fairness definition.
+
+Section 1 defines fairness as "every storage device with x% of the
+available capacity gets x% of the data *and the requests*".  This bench
+replays request traces through the cluster simulator's trace player:
+
+* uniform reads over a mirrored pool — per-device request shares must
+  track capacity shares;
+* a zipf-skewed read trace — rotating reads over the mirror copies must
+  beat always-reading the primary on peak device load (the ablation knob
+  the `read_policy` option provides).
+"""
+
+import pytest
+
+from _tables import emit
+from repro.cluster import Cluster
+from repro.core import RedundantShare
+from repro.simulation import TracePlayer
+from repro.types import bins_from_capacities
+from repro.workloads import mixed, write_population, zipf_reads
+
+CAPACITIES = [4000, 3000, 2000, 1000]
+BLOCKS = 2_000
+READS = 8_000
+
+
+def run_uniform_balance():
+    cluster = Cluster(
+        bins_from_capacities(CAPACITIES),
+        lambda bins: RedundantShare(bins, copies=2),
+    )
+    player = TracePlayer(cluster)
+    player.play(write_population(BLOCKS))
+    report = player.play(mixed(READS, BLOCKS, read_fraction=1.0, seed=11))
+    shares = report.operation_shares()
+    total = sum(CAPACITIES)
+    return {
+        spec.bin_id: (spec.capacity / total, shares.get(spec.bin_id, 0.0))
+        for spec in cluster.strategy.bins
+    }
+
+
+def test_request_shares_track_capacity(benchmark):
+    rows = benchmark.pedantic(run_uniform_balance, rounds=1, iterations=1)
+    emit(
+        "Request balance: uniform reads over mirrored heterogeneous pool",
+        ["device", "capacity share", "request share"],
+        [
+            (device, f"{capacity:.2%}", f"{requests:.2%}")
+            for device, (capacity, requests) in sorted(rows.items())
+        ],
+    )
+    for device, (capacity, requests) in rows.items():
+        benchmark.extra_info[device] = round(requests, 4)
+        assert requests == pytest.approx(capacity, abs=0.04), device
+
+
+def run_hotspot_ablation():
+    def peak_share(policy):
+        cluster = Cluster(
+            bins_from_capacities([2500] * 4),
+            lambda bins: RedundantShare(bins, copies=2),
+        )
+        player = TracePlayer(cluster, read_policy=policy)
+        player.play(write_population(400))
+        report = player.play(zipf_reads(6000, 40, alpha=1.4, seed=5))
+        return max(report.operation_shares().values())
+
+    return {policy: peak_share(policy) for policy in ("primary", "rotate")}
+
+
+def test_read_rotation_flattens_hotspots(benchmark):
+    peaks = benchmark.pedantic(run_hotspot_ablation, rounds=1, iterations=1)
+    emit(
+        "Zipf(1.4) hotspot: peak per-device request share by read policy "
+        "(homogeneous 4-disk mirror; fair = 25%)",
+        ["read policy", "peak device share"],
+        [(policy, f"{peak:.2%}") for policy, peak in peaks.items()],
+    )
+    benchmark.extra_info.update(
+        {policy: round(peak, 4) for policy, peak in peaks.items()}
+    )
+    # Rotating over the k copies visibly flattens the hot device.
+    assert peaks["rotate"] < peaks["primary"] - 0.03

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Erasure-coded block storage on top of Redundant Share.
+
+The paper stresses that its strategies "clearly identify the i-th of k
+copies", which is what lets an erasure code replace plain mirroring: each
+of the k placed shares has a distinct meaning (data share #2, parity share
+#1, ...).  This example builds a Reed-Solomon RS(4+2) cluster over eight
+heterogeneous devices, kills two devices, reads *through* the failures, and
+rebuilds.
+
+Run:  python examples/erasure_coded_storage.py
+"""
+
+from repro.cluster import Cluster
+from repro.core import RedundantShare
+from repro.erasure import ReedSolomonCode
+from repro.types import BinSpec
+
+
+def main() -> None:
+    devices = [
+        BinSpec(f"node-{i}", capacity)
+        for i, capacity in enumerate([3000, 3000, 2500, 2500, 2000, 2000, 1500, 1500])
+    ]
+    code = ReedSolomonCode(4, 2)  # any 4 of 6 shares reconstruct a block
+    cluster = Cluster(
+        devices,
+        lambda bins: RedundantShare(bins, copies=code.total_shares),
+        code=code,
+    )
+    print(f"code: {code.describe()}  (overhead {code.storage_overhead:.2f}x, "
+          f"tolerates {code.tolerance} device losses)\n")
+
+    blocks = 2000
+    for address in range(blocks):
+        cluster.write(address, f"document-{address}".encode() * 4)
+    print(f"wrote {blocks} blocks "
+          f"({code.total_shares} shares each) across {len(devices)} devices")
+
+    fills = cluster.stats().fill_percentages
+    print("\nfill levels (fair despite 2:1 capacity spread):")
+    for device_id in sorted(fills):
+        print(f"  {device_id:<8} {fills[device_id]:6.2f}%")
+
+    print("\nfailing node-2 and node-5 ...")
+    cluster.fail_device("node-2")
+    cluster.fail_device("node-5")
+    sample = cluster.read(123)
+    print(f"read through double failure OK: block 123 = {sample[:24]!r}...")
+
+    rebuilt = cluster.repair_device("node-2") + cluster.repair_device("node-5")
+    print(f"rebuilt {rebuilt} shares from surviving redundancy")
+    cluster.verify()
+    print("cluster invariants verified (redundancy + map consistency)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Scale-out story: a heterogeneous cluster grows and shrinks over years.
+
+Replays the paper's Figure 2 scenario as an operations story: a pool starts
+with 8 disks of increasing size (each hardware generation is bigger), gains
+two generations of two disks each, then retires the four smallest disks —
+and after every step the fill level of every disk stays equal, without any
+central remapping table.
+
+Run:  python examples/heterogeneous_scale_out.py
+"""
+
+from repro.core import RedundantShare
+from repro.simulation import paper_growth_steps, run_fairness
+
+
+def main() -> None:
+    # 1/100th of the paper's absolute sizes for a quick run; ratios equal.
+    steps = paper_growth_steps(base=5000, step=1000)
+    balls = 20_000
+
+    results = run_fairness(
+        steps, lambda bins: RedundantShare(bins, copies=2), balls=balls
+    )
+
+    print("Fill percentage per disk after each reconfiguration")
+    print("(equal percentages in a column = perfectly fair)\n")
+    all_disks = sorted(
+        {disk for result in results for disk in result.fills}
+    )
+    header = "disk        " + "".join(f"{step.label:>18}" for step in steps)
+    print(header)
+    print("-" * len(header))
+    for disk in all_disks:
+        row = f"{disk:<12}"
+        for result in results:
+            if disk in result.fills:
+                row += f"{result.fills[disk]:>17.2f}%"
+            else:
+                row += f"{'-':>18}"
+        print(row)
+
+    print("\nmax-min spread per step (0% = perfect):")
+    for result in results:
+        print(f"  {result.label:<18} {result.spread:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

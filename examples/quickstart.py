@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: fair, redundant placement over heterogeneous disks.
+
+Builds a Redundant Share strategy over three unequal disks, shows that
+
+* every block gets k copies on k *distinct* disks (redundancy),
+* each disk receives a share of copies proportional to its capacity
+  (fairness), and
+* adding a disk moves only a bounded amount of data (adaptivity),
+
+which are exactly the three guarantees of the ICDCS 2007 paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from collections import Counter
+
+from repro import BinSpec, RedundantShare
+from repro.metrics import compare_strategies
+
+
+def main() -> None:
+    disks = [
+        BinSpec("ssd-large", 1200),
+        BinSpec("ssd-medium", 800),
+        BinSpec("hdd-small", 500),
+    ]
+    strategy = RedundantShare(disks, copies=2)
+
+    print("=== Placement is deterministic and redundant ===")
+    for address in range(5):
+        placement = strategy.place(address)
+        print(f"block {address}: primary={placement[0]:<11} mirror={placement[1]}")
+        assert placement[0] != placement[1]
+
+    print("\n=== Fairness: shares track capacity ===")
+    balls = 100_000
+    counts = Counter()
+    for address in range(balls):
+        counts.update(strategy.place(address))
+    total_copies = sum(counts.values())
+    for disk_id, expected in sorted(strategy.expected_shares().items()):
+        observed = counts[disk_id] / total_copies
+        print(
+            f"{disk_id:<11} expected {expected:6.1%}   observed {observed:6.1%}"
+        )
+
+    print("\n=== Adaptivity: growing the pool moves little data ===")
+    grown = disks + [BinSpec("ssd-new", 1000)]
+    new_strategy = RedundantShare(grown, copies=2)
+    report = compare_strategies(
+        strategy, new_strategy, range(balls // 10), ["ssd-new"]
+    )
+    print(f"copies on the new disk : {report.used_on_affected}")
+    print(f"copies moved           : {report.moved_positional}")
+    print(
+        f"competitive factor     : {report.factor_positional:.2f} "
+        f"(paper bound for k=2: 4)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison of replication strategies on skewed disks.
+
+Places the same ball population with Redundant Share, the trivial k-draw
+baseline (Definition 2.3), CRUSH and weighted RAID striping on a small,
+strongly heterogeneous pool, and reports how far each lands from the fair
+capacity shares — the qualitative content of the paper's Sections 2.2/3.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from collections import Counter
+
+from repro.core import RedundantShare
+from repro.placement import (
+    CrushStrategy,
+    TrivialReplication,
+    WeightedStripingStrategy,
+)
+from repro.types import bins_from_capacities
+
+CAPACITIES = [1000, 400, 300, 200, 100]
+COPIES = 2
+BALLS = 60_000
+
+
+def observed_shares(strategy):
+    counts = Counter()
+    for address in range(BALLS):
+        counts.update(strategy.place(address))
+    total = sum(counts.values())
+    return {bin_id: count / total for bin_id, count in counts.items()}
+
+
+def main() -> None:
+    bins = bins_from_capacities(CAPACITIES, prefix="disk")
+    total = sum(CAPACITIES)
+    fair = {
+        spec.bin_id: min(1.0, COPIES * spec.capacity / total) / COPIES
+        for spec in bins
+    }
+
+    strategies = {
+        "redundant-share": RedundantShare(bins, copies=COPIES),
+        "trivial": TrivialReplication(bins, copies=COPIES),
+        "crush (straw2)": CrushStrategy(bins, copies=COPIES),
+        "weighted-raid": WeightedStripingStrategy(bins, copies=COPIES),
+    }
+
+    print(f"capacities: {CAPACITIES}, k={COPIES}, balls={BALLS}\n")
+    header = f"{'disk':<8}{'fair':>9}" + "".join(
+        f"{name:>18}" for name in strategies
+    )
+    print(header)
+    print("-" * len(header))
+    results = {name: observed_shares(s) for name, s in strategies.items()}
+    for spec in bins:
+        row = f"{spec.bin_id:<8}{fair[spec.bin_id]:>8.2%} "
+        for name in strategies:
+            row += f"{results[name].get(spec.bin_id, 0.0):>17.2%} "
+        print(row)
+
+    print("\nmax deviation from fair share:")
+    for name in strategies:
+        deviation = max(
+            abs(results[name].get(bin_id, 0.0) - share)
+            for bin_id, share in fair.items()
+        )
+        print(f"  {name:<16} {deviation:6.2%}")
+    print("\nRedundant Share tracks the fair shares; the trivial baseline "
+          "starves the big disk (Lemma 2.4).")
+
+
+if __name__ == "__main__":
+    main()

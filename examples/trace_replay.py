@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Record a workload trace, persist it, replay it, compare read policies.
+
+Shows the workload tooling end to end: generate a skewed trace, save it as
+JSON lines (the shareable experiment artifact), reload it, and replay it
+against two identical clusters that differ only in how reads pick among
+the mirror copies — demonstrating the paper's request-fairness notion on a
+hot-spotted workload.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cluster import Cluster
+from repro.core import RedundantShare
+from repro.reporting import print_table
+from repro.simulation import TracePlayer
+from repro.types import bins_from_capacities
+from repro.workloads import (
+    dump_trace,
+    load_trace,
+    materialize,
+    write_population,
+    zipf_reads,
+)
+
+
+def make_cluster():
+    return Cluster(
+        bins_from_capacities([2500] * 4, prefix="disk"),
+        lambda bins: RedundantShare(bins, copies=2),
+    )
+
+
+def main() -> None:
+    # 1. Generate and persist the trace.
+    trace = materialize(write_population(600)) + materialize(
+        zipf_reads(8000, 60, alpha=1.4, seed=21)
+    )
+    path = Path(tempfile.gettempdir()) / "repro-demo-trace.jsonl"
+    count = dump_trace(trace, path)
+    print(f"recorded {count} requests to {path} "
+          f"({path.stat().st_size} bytes)")
+
+    # 2. Replay against both read policies.
+    rows = []
+    for policy in ("primary", "rotate"):
+        cluster = make_cluster()
+        player = TracePlayer(cluster, read_policy=policy)
+        report = player.play(load_trace(path))
+        shares = report.operation_shares()
+        utilisations = report.utilisations()
+        rows.append(
+            (
+                policy,
+                f"{max(shares.values()):.1%}",
+                f"{max(utilisations.values()):.2f}",
+                f"{max(l.mean_response for l in report.device_loads.values()):.2f}",
+            )
+        )
+    print_table(
+        "Zipf(1.4) read trace on a 4-disk mirror — read-policy comparison "
+        "(fair peak share = 25%)",
+        ["read policy", "peak device share", "peak utilisation",
+         "worst mean response"],
+        rows,
+    )
+    print("\nrotating reads over the mirror copies flattens the hotspot — "
+          "the paper's 'x% of the requests' fairness in action")
+
+
+if __name__ == "__main__":
+    main()

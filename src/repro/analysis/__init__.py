@@ -1,0 +1,27 @@
+"""Analytical models: durability (MTTDL) and concentration bounds."""
+
+from .concentration import (
+    deviation_probability,
+    fairness_tolerances,
+    required_copies,
+    tolerance_for,
+)
+from .durability import (
+    DurabilityModel,
+    annual_loss_probability,
+    mttdl,
+    mttdl_mirror,
+    simulate_mttdl,
+)
+
+__all__ = [
+    "DurabilityModel",
+    "annual_loss_probability",
+    "deviation_probability",
+    "fairness_tolerances",
+    "mttdl",
+    "mttdl_mirror",
+    "required_copies",
+    "simulate_mttdl",
+    "tolerance_for",
+]

@@ -1,0 +1,86 @@
+"""Concentration bounds: how close "fair in expectation" is in practice.
+
+The paper's fairness guarantees are *expected-case*; Section 1.1 notes that
+capacity efficiency "can be shown in the expected case or with high
+probability".  This module supplies the high-probability half: Chernoff
+bounds for the binomial copy counts a perfectly fair strategy induces, so
+experiments (and users) can tell Monte-Carlo noise from genuine bias.
+
+For a bin with fair share ``p`` receiving ``X ~ Binomial(N, p)`` of the
+``N`` placed copies:
+
+    P(|X/N - p| >= eps) <= 2 exp(-N eps^2 / (3 p))      (eps <= p)
+
+(the multiplicative Chernoff bound with delta = eps/p).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+
+def deviation_probability(copies: int, share: float, epsilon: float) -> float:
+    """Chernoff upper bound on ``P(|X/N - p| >= eps)``.
+
+    Args:
+        copies: ``N`` — total copies placed.
+        share: ``p`` — the bin's fair share, in (0, 1].
+        epsilon: Absolute deviation of the empirical share.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    if not 0.0 < share <= 1.0:
+        raise ValueError("share must be in (0, 1]")
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be positive")
+    delta = epsilon / share
+    # Two-sided multiplicative Chernoff; the upper tail dominates for
+    # delta <= 1, and for delta > 1 we use the (valid) upper-tail form
+    # exp(-N p delta / 3).
+    if delta <= 1.0:
+        exponent = copies * share * delta * delta / 3.0
+    else:
+        exponent = copies * share * delta / 3.0
+    return min(1.0, 2.0 * math.exp(-exponent))
+
+
+def tolerance_for(copies: int, share: float, confidence: float = 0.999) -> float:
+    """Deviation ``eps`` not exceeded with the given confidence.
+
+    Inverts :func:`deviation_probability` (small-deviation regime); tests
+    compare empirical fairness deviations against this, so a failure means
+    *bias*, not bad luck.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    failure = 1.0 - confidence
+    epsilon = math.sqrt(3.0 * share * math.log(2.0 / failure) / copies)
+    return min(epsilon, share)  # stay in the small-deviation regime
+
+
+def required_copies(share: float, epsilon: float, confidence: float = 0.999) -> int:
+    """Copies needed so the empirical share is within ``eps`` w.h.p.
+
+    The experiment-sizing helper: how many balls must a fairness test
+    place before a deviation of ``eps`` is meaningful?
+    """
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    failure = 1.0 - confidence
+    return math.ceil(3.0 * share * math.log(2.0 / failure) / (epsilon * epsilon))
+
+
+def fairness_tolerances(
+    expected_shares: Mapping[str, float],
+    copies: int,
+    confidence: float = 0.999,
+) -> Dict[str, float]:
+    """Per-bin deviation tolerances for one experiment."""
+    return {
+        bin_id: tolerance_for(copies, share, confidence)
+        for bin_id, share in expected_shares.items()
+        if share > 0.0
+    }

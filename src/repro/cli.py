@@ -1,0 +1,268 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    repro capacity --capacities 100,6,1 --copies 2
+    repro fairness --capacities 500,600,700,800 --copies 2 --balls 50000
+    repro compare  --capacities 1000,400,300,200,100 --balls 40000
+    repro adaptivity --copies 2 --balls 20000
+    repro place --capacities 1200,800,500 --copies 2 --address 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Sequence
+
+from .capacity import clip_capacities, is_capacity_efficient, max_balls
+from .core import FastRedundantShare, RedundantShare
+from .placement import (
+    CrushStrategy,
+    TrivialReplication,
+    WeightedStripingStrategy,
+    trivial_wasted_fraction,
+)
+from .simulation import add_remove_cases, run_adaptivity
+from .types import bins_from_capacities
+
+
+def _parse_capacities(raw: str) -> List[int]:
+    try:
+        capacities = [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise SystemExit(f"invalid capacity list: {raw!r}")
+    if not capacities:
+        raise SystemExit("at least one capacity is required")
+    return capacities
+
+
+def _strategy_for(name: str, bins, copies: int):
+    registry = {
+        "redundant-share": lambda: RedundantShare(bins, copies=copies),
+        "fast": lambda: FastRedundantShare(bins, copies=copies),
+        "trivial": lambda: TrivialReplication(bins, copies=copies),
+        "crush": lambda: CrushStrategy(bins, copies=copies),
+        "striping": lambda: WeightedStripingStrategy(bins, copies=copies),
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown strategy {name!r}; choose from {sorted(registry)}"
+        )
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    """Lemma 2.1/2.2 report for a capacity vector."""
+    capacities = sorted(_parse_capacities(args.capacities), reverse=True)
+    k = args.copies
+    efficient = is_capacity_efficient(capacities, k)
+    balls = max_balls(capacities, k)
+    clipped = clip_capacities(capacities, k)
+    waste = trivial_wasted_fraction(capacities, k) if len(capacities) <= 10 else None
+    print(f"capacities (sorted): {capacities}")
+    print(f"replication degree : k = {k}")
+    print(f"capacity efficient : {efficient} (Lemma 2.1: k*b_0 <= B)")
+    print(f"max storable balls : {balls} (Lemma 2.2)")
+    print(f"clipped capacities : {[round(value, 2) for value in clipped]}")
+    if waste is not None:
+        print(f"trivial-strategy waste: {waste:.2%} of raw capacity (Lemma 2.4)")
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    """Show the placement of one or more addresses."""
+    capacities = _parse_capacities(args.capacities)
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    strategy = _strategy_for(args.strategy, bins, args.copies)
+    for address in range(args.address, args.address + args.count):
+        print(f"{address}: {' '.join(strategy.place(address))}")
+    return 0
+
+
+def cmd_fairness(args: argparse.Namespace) -> int:
+    """Empirical shares vs fair targets for one configuration."""
+    capacities = _parse_capacities(args.capacities)
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    strategy = _strategy_for(args.strategy, bins, args.copies)
+    counts = Counter()
+    for address in range(args.balls):
+        counts.update(strategy.place(address))
+    total = sum(counts.values())
+    expected = strategy.expected_shares() or {}
+    print(f"{'bin':<10}{'copies':>10}{'observed':>12}{'expected':>12}")
+    for spec in bins:
+        observed = counts.get(spec.bin_id, 0) / total
+        target = expected.get(spec.bin_id)
+        target_text = f"{target:>11.2%}" if target is not None else f"{'n/a':>11}"
+        print(
+            f"{spec.bin_id:<10}{counts.get(spec.bin_id, 0):>10}"
+            f"{observed:>11.2%} {target_text}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Fairness deviation of all strategies on one configuration."""
+    capacities = _parse_capacities(args.capacities)
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    total = sum(capacities)
+    fair = {
+        spec.bin_id: min(1.0, args.copies * spec.capacity / total) / args.copies
+        for spec in bins
+    }
+    print(f"{'strategy':<18}{'max deviation from fair share':>32}")
+    for name in ("redundant-share", "fast", "trivial", "crush", "striping"):
+        strategy = _strategy_for(name, bins, args.copies)
+        counts = Counter()
+        for address in range(args.balls):
+            counts.update(strategy.place(address))
+        total_copies = sum(counts.values())
+        deviation = max(
+            abs(counts.get(bin_id, 0) / total_copies - share)
+            for bin_id, share in fair.items()
+        )
+        print(f"{name:<18}{deviation:>31.3%}")
+    return 0
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    """The Figure 2/4 growth experiment (fill %% per disk per step)."""
+    from .simulation import paper_growth_steps, run_fairness
+
+    steps = paper_growth_steps(base=args.base, step=args.step)
+    results = run_fairness(
+        steps,
+        lambda bins: RedundantShare(bins, copies=args.copies),
+        balls=args.balls,
+    )
+    disks = sorted({disk for result in results for disk in result.fills})
+    header = "disk        " + "".join(f"{step.label:>20}" for step in steps)
+    print(header)
+    for disk in disks:
+        row = f"{disk:<12}"
+        for result in results:
+            if disk in result.fills:
+                row += f"{result.fills[disk]:>19.2f}%"
+            else:
+                row += f"{'-':>20}"
+        print(row)
+    print("spread      " + "".join(f"{r.spread:>19.2f}%" for r in results))
+    return 0
+
+
+def cmd_durability(args: argparse.Namespace) -> int:
+    """MTTDL table for the supported redundancy schemes."""
+    from .analysis import DurabilityModel, annual_loss_probability, mttdl
+
+    schemes = {
+        "single copy": DurabilityModel(1, 0, args.mttf, args.mttr),
+        "mirror k=2": DurabilityModel(2, 1, args.mttf, args.mttr),
+        "mirror k=3": DurabilityModel(3, 2, args.mttf, args.mttr),
+        "parity 4+1": DurabilityModel(5, 1, args.mttf, args.mttr),
+        "RS 4+2": DurabilityModel(6, 2, args.mttf, args.mttr),
+    }
+    print(f"MTTF={args.mttf:.0f} MTTR={args.mttr:.0f} (same time unit)")
+    print(f"{'scheme':<14}{'MTTDL':>18}{'P(loss per 365 units)':>24}")
+    for name, model in schemes.items():
+        print(
+            f"{name:<14}{mttdl(model):>18,.0f}"
+            f"{annual_loss_probability(model, year=365.0):>24.3e}"
+        )
+    return 0
+
+
+def cmd_adaptivity(args: argparse.Namespace) -> int:
+    """The Figure 3 add/remove experiment."""
+    results = run_adaptivity(
+        add_remove_cases(count=args.disks, base=args.base, step=args.step),
+        lambda bins: RedundantShare(bins, copies=args.copies),
+        balls=args.balls,
+    )
+    print(f"{'case':<16}{'used':>10}{'replaced':>10}{'factor':>9}")
+    for result in results:
+        print(
+            f"{result.label:<16}{result.used:>10}{result.replaced:>10}"
+            f"{result.factor:>9.2f}"
+        )
+    print(f"\npaper bound for k={args.copies}: {args.copies ** 2}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dynamic and Redundant Data Placement (ICDCS 2007) — "
+            "Redundant Share experiments"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, capacities=True):
+        if capacities:
+            p.add_argument(
+                "--capacities",
+                default="500,600,700,800,900,1000,1100,1200",
+                help="comma-separated bin capacities",
+            )
+            p.add_argument("--prefix", default="bin", help="bin name prefix")
+        p.add_argument("--copies", type=int, default=2, help="replication k")
+
+    p_cap = sub.add_parser("capacity", help="Lemma 2.1/2.2 capacity report")
+    common(p_cap)
+    p_cap.set_defaults(func=cmd_capacity)
+
+    p_place = sub.add_parser("place", help="show placements")
+    common(p_place)
+    p_place.add_argument("--strategy", default="redundant-share")
+    p_place.add_argument("--address", type=int, default=0)
+    p_place.add_argument("--count", type=int, default=10)
+    p_place.set_defaults(func=cmd_place)
+
+    p_fair = sub.add_parser("fairness", help="empirical fairness")
+    common(p_fair)
+    p_fair.add_argument("--strategy", default="redundant-share")
+    p_fair.add_argument("--balls", type=int, default=50_000)
+    p_fair.set_defaults(func=cmd_fairness)
+
+    p_cmp = sub.add_parser("compare", help="compare all strategies")
+    common(p_cmp)
+    p_cmp.add_argument("--balls", type=int, default=30_000)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_growth = sub.add_parser("growth", help="Figure 2/4 growth experiment")
+    p_growth.add_argument("--copies", type=int, default=2)
+    p_growth.add_argument("--base", type=int, default=5000)
+    p_growth.add_argument("--step", type=int, default=1000)
+    p_growth.add_argument("--balls", type=int, default=20_000)
+    p_growth.set_defaults(func=cmd_growth)
+
+    p_dur = sub.add_parser("durability", help="MTTDL per redundancy scheme")
+    p_dur.add_argument("--mttf", type=float, default=1000.0)
+    p_dur.add_argument("--mttr", type=float, default=1.0)
+    p_dur.set_defaults(func=cmd_durability)
+
+    p_adapt = sub.add_parser("adaptivity", help="Figure 3 experiment")
+    common(p_adapt, capacities=False)
+    p_adapt.add_argument("--disks", type=int, default=8)
+    p_adapt.add_argument("--base", type=int, default=5000)
+    p_adapt.add_argument("--step", type=int, default=1000)
+    p_adapt.add_argument("--balls", type=int, default=20_000)
+    p_adapt.set_defaults(func=cmd_adaptivity)
+
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

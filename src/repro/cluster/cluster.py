@@ -1,0 +1,533 @@
+"""The storage cluster: devices + placement strategy + erasure code.
+
+This is the block-level storage virtualization the paper describes: clients
+address a flat space of blocks; the cluster encodes each block into ``k``
+shares, asks the placement strategy where the i-th share lives, and keeps
+the physical layout in sync as devices enter, leave or fail.
+
+The interesting operations are the reconfigurations:
+
+* :meth:`Cluster.add_device` / :meth:`Cluster.remove_device` — rebuild the
+  strategy for the new device set and migrate exactly the shares whose
+  placement changed, returning a :class:`MigrationReport` (the quantity
+  Figures 3/5 measure).
+* :meth:`Cluster.fail_device` / :meth:`Cluster.repair_device` — crash a
+  device (losing its contents) and rebuild the lost shares from surviving
+  redundancy via the erasure code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..erasure.base import ErasureCode
+from ..erasure.mirror import MirrorCode
+from ..exceptions import (
+    BlockNotFoundError,
+    ConfigurationError,
+    DeviceNotFoundError,
+)
+from ..placement.base import ReplicationStrategy
+from ..types import BinSpec
+from .blockmap import BlockMap
+from .device import StorageDevice
+from .events import EventLog
+
+#: Builds a strategy for a device set; partial-apply strategy parameters.
+StrategyFactory = Callable[[Sequence[BinSpec]], ReplicationStrategy]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of a reconfiguration.
+
+    Attributes:
+        trigger: ``"add"`` or ``"remove"``.
+        device_id: The affected device.
+        moved_shares: Shares whose device changed (physically copied).
+        rebuilt_shares: Moved shares that had to be reconstructed from
+            redundancy because their source was failed/removed.
+        total_shares: Shares tracked at the time of the change.
+        used_on_affected: Shares on the affected device after an add /
+            before a remove — the paper's ``used`` denominator.
+    """
+
+    trigger: str
+    device_id: str
+    moved_shares: int
+    rebuilt_shares: int
+    total_shares: int
+    used_on_affected: int
+
+    @property
+    def movement_factor(self) -> float:
+        """``replaced / used`` — the Figure 3/5 competitive factor."""
+        if self.used_on_affected == 0:
+            return 0.0
+        return self.moved_shares / self.used_on_affected
+
+
+@dataclass
+class ClusterStats:
+    """Point-in-time usage snapshot."""
+
+    devices: Dict[str, int] = field(default_factory=dict)
+    capacities: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fill_percentages(self) -> Dict[str, float]:
+        """Percent full per device."""
+        return {
+            device_id: 100.0 * self.devices[device_id] / capacity
+            for device_id, capacity in self.capacities.items()
+        }
+
+
+class Cluster:
+    """A reconfigurable, redundant block store over simulated devices."""
+
+    def __init__(
+        self,
+        devices: Sequence[BinSpec],
+        strategy_factory: StrategyFactory,
+        code: Optional[ErasureCode] = None,
+        shared_devices: Optional[Dict[str, StorageDevice]] = None,
+    ) -> None:
+        """Assemble the cluster.
+
+        Args:
+            devices: Initial device specs.
+            strategy_factory: Builds the placement strategy for any device
+                set, e.g. ``lambda bins: RedundantShare(bins, copies=2)``.
+            code: Erasure code for block payloads; defaults to plain
+                mirroring matching the strategy's replication degree.
+            shared_devices: Pre-existing device objects to store into
+                (instead of creating fresh ones) — used by
+                :class:`~repro.cluster.policies.PolicyStore` so several
+                redundancy policies share one physical pool.  Shares from
+                other users of the pool are then tolerated by
+                :meth:`verify`.
+
+        Raises:
+            ConfigurationError: if the code's share count disagrees with
+                the strategy's replication degree, or shared devices are
+                missing for some spec.
+        """
+        self._factory = strategy_factory
+        self._strategy = strategy_factory(list(devices))
+        self._code = code or MirrorCode(self._strategy.copies)
+        if self._code.total_shares != self._strategy.copies:
+            raise ConfigurationError(
+                f"code produces {self._code.total_shares} shares but the "
+                f"strategy places {self._strategy.copies} copies"
+            )
+        if shared_devices is None:
+            self._devices = {
+                spec.bin_id: StorageDevice(spec.bin_id, spec.capacity)
+                for spec in devices
+            }
+            self._shared_pool = False
+        else:
+            missing = [
+                spec.bin_id
+                for spec in devices
+                if spec.bin_id not in shared_devices
+            ]
+            if missing:
+                raise ConfigurationError(
+                    f"shared pool lacks devices: {missing}"
+                )
+            self._devices = {
+                spec.bin_id: shared_devices[spec.bin_id] for spec in devices
+            }
+            self._shared_pool = True
+        self._specs: Dict[str, BinSpec] = {spec.bin_id: spec for spec in devices}
+        self._map = BlockMap()
+        self._log = EventLog()
+        self._block_sizes: Dict[int, int] = {}
+        self._log.record("cluster-created", devices=len(self._devices))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def strategy(self) -> ReplicationStrategy:
+        """The current placement strategy snapshot."""
+        return self._strategy
+
+    @property
+    def code(self) -> ErasureCode:
+        """The erasure code in use."""
+        return self._code
+
+    @property
+    def log(self) -> EventLog:
+        """The cluster's event journal."""
+        return self._log
+
+    @property
+    def block_count(self) -> int:
+        """Number of blocks currently stored."""
+        return len(self._map)
+
+    def addresses(self) -> List[int]:
+        """All stored block addresses (snapshot)."""
+        return list(self._map.addresses())
+
+    def placement_of(self, address: int) -> "tuple":
+        """Recorded placement of a stored block.
+
+        Raises:
+            BlockNotFoundError: if the block was never written.
+        """
+        return self._map.lookup(address)
+
+    def block_size_of(self, address: int) -> int:
+        """Original payload size of a stored block.
+
+        Raises:
+            BlockNotFoundError: if the block was never written.
+        """
+        self._map.lookup(address)  # raises for unknown blocks
+        return self._block_sizes[address]
+
+    def restore_block(self, address: int, placement, size: int) -> None:
+        """Register a block's metadata without writing shares.
+
+        Snapshot-restore plumbing: the share payloads are loaded directly
+        onto the devices, and this records the matching map entry.
+        """
+        self._map.record(address, tuple(placement))
+        self._block_sizes[address] = size
+
+    def device_ids(self) -> List[str]:
+        """Sorted ids of all (active or failed) devices."""
+        return sorted(self._devices)
+
+    def device(self, device_id: str) -> StorageDevice:
+        """Access one device.
+
+        Raises:
+            DeviceNotFoundError: for unknown ids.
+        """
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise DeviceNotFoundError(f"no device {device_id!r}") from None
+
+    def stats(self) -> ClusterStats:
+        """Usage snapshot for fairness reporting."""
+        return ClusterStats(
+            devices={
+                device_id: device.used
+                for device_id, device in self._devices.items()
+            },
+            capacities={
+                device_id: device.capacity
+                for device_id, device in self._devices.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def write(self, address: int, payload: bytes) -> None:
+        """Store a block: encode, place, persist all shares.
+
+        Writes are *degraded-mode tolerant*: shares whose target device is
+        currently failed are skipped (the placement is still recorded, and
+        :meth:`repair_device` rebuilds them from the stored redundancy).
+        """
+        shares = self._code.encode(payload)
+        placement = self._strategy.place(address)
+        if self._map.contains(address):
+            self._drop_shares(address)
+        for position, (device_id, share) in enumerate(zip(placement, shares)):
+            device = self._devices[device_id]
+            if device.is_active:
+                device.store((address, position), share)
+        self._map.record(address, placement)
+        self._block_sizes[address] = len(payload)
+
+    def read(self, address: int) -> bytes:
+        """Fetch a block, decoding around failed devices.
+
+        Raises:
+            BlockNotFoundError: if the block was never written.
+            DecodingError: if too few shares survive.
+        """
+        placement = self._map.lookup(address)
+        shares: Dict[int, bytes] = {}
+        for position, device_id in enumerate(placement):
+            device = self._devices.get(device_id)
+            if device is None or not device.is_active:
+                continue
+            if device.holds((address, position)):
+                shares[position] = device.fetch((address, position))
+        payload = self._code.decode(shares)
+        return payload[: self._block_sizes[address]]
+
+    def delete(self, address: int) -> None:
+        """Remove a block and its shares.
+
+        Raises:
+            BlockNotFoundError: if the block was never written.
+        """
+        self._map.lookup(address)  # raises for unknown blocks
+        self._drop_shares(address)
+        self._map.forget(address)
+        self._block_sizes.pop(address, None)
+
+    def _drop_shares(self, address: int) -> None:
+        placement = self._map.lookup(address)
+        for position, device_id in enumerate(placement):
+            device = self._devices.get(device_id)
+            if device is not None and device.is_active:
+                device.discard((address, position))
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def add_device(self, spec: BinSpec, rebalance: bool = True) -> MigrationReport:
+        """Bring a new device online and (by default) rebalance.
+
+        With ``rebalance=False`` the placement strategy is updated but no
+        data moves: new writes use the new layout immediately, and existing
+        blocks stay where the map says until migrated — lazily via
+        :meth:`migrate_block` / :class:`~repro.cluster.rebalancer.Rebalancer`.
+
+        Raises:
+            ConfigurationError: if the id already exists.
+        """
+        if spec.bin_id in self._devices:
+            raise ConfigurationError(f"device {spec.bin_id!r} already exists")
+        self._devices[spec.bin_id] = StorageDevice(spec.bin_id, spec.capacity)
+        self._specs[spec.bin_id] = spec
+        if rebalance:
+            report = self._rebalance("add", spec.bin_id)
+        else:
+            self._strategy = self._factory(
+                [self._specs[device_id] for device_id in sorted(self._specs)]
+            )
+            report = MigrationReport(
+                trigger="add",
+                device_id=spec.bin_id,
+                moved_shares=0,
+                rebuilt_shares=0,
+                total_shares=len(self._map) * self._strategy.copies,
+                used_on_affected=0,
+            )
+        self._log.record(
+            "device-added", device=spec.bin_id, moved=report.moved_shares
+        )
+        return report
+
+    def out_of_place(self) -> List[int]:
+        """Blocks whose recorded placement differs from the current
+        strategy's — the backlog of a lazy reconfiguration."""
+        backlog = []
+        for address in self._map.addresses():
+            if self._map.lookup(address) != self._strategy.place(address):
+                backlog.append(address)
+        return backlog
+
+    def migrate_block(self, address: int) -> int:
+        """Move one block to its current-strategy placement.
+
+        Returns:
+            Number of shares physically moved (0 if already in place).
+
+        Raises:
+            BlockNotFoundError: if the block was never written.
+        """
+        old_placement = self._map.lookup(address)
+        new_placement = self._strategy.place(address)
+        if old_placement == new_placement:
+            return 0
+        shares = self._collect_shares(address, old_placement)
+        moved = 0
+        for position, (old_id, new_id) in enumerate(
+            zip(old_placement, new_placement)
+        ):
+            if old_id == new_id:
+                continue
+            if position in shares:
+                payload = shares[position]
+            else:
+                payload = self._rebuild_share(address, shares, position)
+            old_device = self._devices.get(old_id)
+            if old_device is not None and old_device.is_active:
+                old_device.discard((address, position))
+            target = self._devices[new_id]
+            if target.is_active:
+                target.store((address, position), payload)
+            moved += 1
+        self._map.record(address, new_placement)
+        return moved
+
+    def remove_device(self, device_id: str) -> MigrationReport:
+        """Drain and remove a device (graceful decommission).
+
+        Raises:
+            DeviceNotFoundError: for unknown ids.
+        """
+        if device_id not in self._devices:
+            raise DeviceNotFoundError(f"no device {device_id!r}")
+        used_before = self._map.share_count(device_id)
+        self._specs.pop(device_id)
+        report = self._rebalance("remove", device_id, used_override=used_before)
+        removed = self._devices.pop(device_id)
+        self._log.record(
+            "device-removed",
+            device=device_id,
+            moved=report.moved_shares,
+            leftover=removed.used,
+        )
+        return report
+
+    def _rebalance(
+        self, trigger: str, affected: str, used_override: Optional[int] = None
+    ) -> MigrationReport:
+        """Rebuild the strategy and migrate shares whose placement changed."""
+        new_strategy = self._factory(
+            [self._specs[device_id] for device_id in sorted(self._specs)]
+        )
+        moved = 0
+        rebuilt = 0
+        total = 0
+        for address in self._map.addresses():
+            old_placement = self._map.lookup(address)
+            new_placement = new_strategy.place(address)
+            total += len(new_placement)
+            if old_placement == new_placement:
+                continue
+            shares = self._collect_shares(address, old_placement)
+            for position, (old_id, new_id) in enumerate(
+                zip(old_placement, new_placement)
+            ):
+                if old_id == new_id:
+                    continue
+                moved += 1
+                if position in shares:
+                    payload = shares[position]
+                else:
+                    payload = self._rebuild_share(address, shares, position)
+                    rebuilt += 1
+                old_device = self._devices.get(old_id)
+                if old_device is not None and old_device.is_active:
+                    old_device.discard((address, position))
+                target = self._devices[new_id]
+                if target.is_active:
+                    target.store((address, position), payload)
+            self._map.record(address, new_placement)
+        self._strategy = new_strategy
+        used = (
+            used_override
+            if used_override is not None
+            else self._map.share_count(affected)
+        )
+        return MigrationReport(
+            trigger=trigger,
+            device_id=affected,
+            moved_shares=moved,
+            rebuilt_shares=rebuilt,
+            total_shares=total,
+            used_on_affected=used,
+        )
+
+    def _collect_shares(self, address, placement) -> Dict[int, bytes]:
+        shares: Dict[int, bytes] = {}
+        for position, device_id in enumerate(placement):
+            device = self._devices.get(device_id)
+            if device is None or not device.is_active:
+                continue
+            if device.holds((address, position)):
+                shares[position] = device.fetch((address, position))
+        return shares
+
+    def _rebuild_share(
+        self, address: int, shares: Dict[int, bytes], position: int
+    ) -> bytes:
+        block = self._code.decode(shares)
+        return self._code.encode(block)[position]
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+
+    def fail_device(self, device_id: str) -> None:
+        """Crash a device; its contents are lost until repaired.
+
+        Raises:
+            DeviceNotFoundError: for unknown ids.
+        """
+        self.device(device_id).fail()
+        self._log.record("device-failed", device=device_id)
+
+    def repair_device(self, device_id: str) -> int:
+        """Replace a failed device and rebuild its shares from redundancy.
+
+        Returns:
+            Number of shares reconstructed.
+
+        Raises:
+            DeviceNotFoundError: for unknown ids.
+            DecodingError: if some block lost too many shares to rebuild.
+        """
+        device = self.device(device_id)
+        device.replace()
+        rebuilt = 0
+        for address, position in self._map.shares_on(device_id):
+            placement = self._map.lookup(address)
+            shares = self._collect_shares(address, placement)
+            if position in shares:
+                continue  # already present (e.g. repaired twice)
+            payload = self._rebuild_share(address, shares, position)
+            device.store((address, position), payload)
+            rebuilt += 1
+        self._log.record("device-repaired", device=device_id, rebuilt=rebuilt)
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check the cluster's structural invariants.
+
+        * every mapped share exists on its active device;
+        * the redundancy property holds (k distinct devices per block);
+        * no active device stores shares the map does not know about.
+
+        Raises:
+            AssertionError: on any violation — this is a test/debug API.
+        """
+        for address in self._map.addresses():
+            placement = self._map.lookup(address)
+            assert len(set(placement)) == len(placement), (
+                f"redundancy violated for block {address}: {placement}"
+            )
+            for position, device_id in enumerate(placement):
+                device = self._devices[device_id]
+                if device.is_active:
+                    assert device.holds((address, position)), (
+                        f"share ({address},{position}) missing on {device_id}"
+                    )
+        if self._shared_pool:
+            return  # other policies' shares live on the same devices
+        mapped = {
+            key
+            for device_id in self._devices
+            for key in self._map.shares_on(device_id)
+        }
+        for device_id, device in self._devices.items():
+            if not device.is_active:
+                continue
+            for key in device.share_keys():
+                assert key in mapped, (
+                    f"orphan share {key} on device {device_id}"
+                )

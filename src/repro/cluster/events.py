@@ -1,0 +1,58 @@
+"""Append-only event log for cluster observability.
+
+Every structural operation (writes are too frequent and are aggregated)
+appends an event; tests and examples read the log to explain what a
+scenario did, and the failure-injection tests assert recovery ordering
+through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class Event:
+    """One log entry.
+
+    Attributes:
+        sequence: Monotonic per-log sequence number.
+        kind: Event type, e.g. ``"device-added"`` or ``"rebuild"``.
+        details: Free-form payload describing the event.
+    """
+
+    sequence: int
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """An in-memory, append-only event journal."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, kind: str, **details: Any) -> Event:
+        """Append an event and return it."""
+        event = Event(sequence=len(self._events), kind=kind, details=details)
+        self._events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events of one kind, in order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def last(self) -> Event:
+        """Most recent event.
+
+        Raises:
+            IndexError: if the log is empty.
+        """
+        return self._events[-1]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(list(self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,92 @@
+"""Deterministic failure injection for the cluster simulator.
+
+Used by the failure-recovery example and the fault-tolerance tests: pick
+victims reproducibly, crash them, optionally repair, and report what
+survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..exceptions import DecodingError
+from ..hashing.primitives import stable_u64
+from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Outcome of one failure round.
+
+    Attributes:
+        failed: Devices crashed this round.
+        readable_blocks: Blocks still readable afterwards.
+        lost_blocks: Blocks that lost too many shares.
+        rebuilt_shares: Shares reconstructed by subsequent repair (0 if no
+            repair was requested).
+    """
+
+    failed: List[str]
+    readable_blocks: int
+    lost_blocks: int
+    rebuilt_shares: int
+
+
+class FailureInjector:
+    """Reproducible device-failure campaigns."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._round = 0
+
+    def choose_victims(self, cluster: Cluster, count: int) -> List[str]:
+        """Pick ``count`` distinct active devices deterministically."""
+        active = [
+            device_id
+            for device_id in cluster.device_ids()
+            if cluster.device(device_id).is_active
+        ]
+        if count > len(active):
+            raise ValueError(
+                f"cannot fail {count} of {len(active)} active devices"
+            )
+        victims: List[str] = []
+        pool = list(active)
+        for pick in range(count):
+            index = stable_u64("victim", self._seed, self._round, pick) % len(pool)
+            victims.append(pool.pop(index))
+        return victims
+
+    def crash(
+        self, cluster: Cluster, count: int, repair: bool = True
+    ) -> FailureReport:
+        """Fail ``count`` devices, survey damage, optionally repair.
+
+        Repair happens one device at a time (as a real rebuild would), so
+        with ``count <= tolerance`` everything must come back.
+        """
+        self._round += 1
+        victims = self.choose_victims(cluster, count)
+        for victim in victims:
+            cluster.fail_device(victim)
+
+        readable = 0
+        lost = 0
+        for address in cluster.addresses():
+            try:
+                cluster.read(address)
+                readable += 1
+            except DecodingError:
+                lost += 1
+
+        rebuilt = 0
+        if repair:
+            for victim in victims:
+                rebuilt += cluster.repair_device(victim)
+        return FailureReport(
+            failed=victims,
+            readable_blocks=readable,
+            lost_blocks=lost,
+            rebuilt_shares=rebuilt,
+        )

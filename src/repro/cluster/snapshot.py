@@ -1,0 +1,120 @@
+"""Cluster snapshots: serialise and restore the data plane.
+
+A snapshot captures everything the *data plane* holds — device specs and
+states, the block map, block sizes, and every share payload (hex-encoded)
+— as one JSON-compatible dict.  Restoring needs the same strategy factory
+and erasure code the original cluster used (the control plane is code, not
+data), mirroring how real systems persist layout epochs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..erasure.base import ErasureCode
+from ..exceptions import ConfigurationError
+from ..types import BinSpec
+from .cluster import Cluster, StrategyFactory
+
+#: Snapshot schema version; bump on incompatible changes.
+SNAPSHOT_VERSION = 1
+
+
+def take_snapshot(cluster: Cluster) -> Dict[str, Any]:
+    """Capture the cluster's full data-plane state as a plain dict."""
+    devices = []
+    for device_id in cluster.device_ids():
+        device = cluster.device(device_id)
+        shares = {}
+        if device.is_active:
+            for key in device.share_keys():
+                address, position = key
+                shares[f"{address}:{position}"] = device.fetch(key).hex()
+        devices.append(
+            {
+                "id": device_id,
+                "capacity": device.capacity,
+                "active": device.is_active,
+                "shares": shares,
+            }
+        )
+    blocks = {}
+    for address in cluster.addresses():
+        blocks[str(address)] = {
+            "placement": list(cluster.placement_of(address)),
+            "size": cluster.block_size_of(address),
+        }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "copies": cluster.strategy.copies,
+        "code": cluster.code.describe(),
+        "devices": devices,
+        "blocks": blocks,
+    }
+
+
+def snapshot_to_json(cluster: Cluster) -> str:
+    """Snapshot as a JSON string."""
+    return json.dumps(take_snapshot(cluster), sort_keys=True)
+
+
+def restore_snapshot(
+    snapshot: Dict[str, Any],
+    strategy_factory: StrategyFactory,
+    code: Optional[ErasureCode] = None,
+) -> Cluster:
+    """Rebuild a cluster from a snapshot.
+
+    Args:
+        snapshot: Output of :func:`take_snapshot` (or parsed JSON).
+        strategy_factory: Must build strategies compatible with the ones
+            the snapshotted cluster used (same namespace/parameters), or
+            future reconfigurations will recompute different placements.
+        code: Erasure code; must produce the same number of shares.
+
+    Raises:
+        ConfigurationError: on version or shape mismatches.
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    specs = [
+        BinSpec(entry["id"], entry["capacity"]) for entry in snapshot["devices"]
+    ]
+    cluster = Cluster(specs, strategy_factory, code=code)
+    if cluster.strategy.copies != snapshot["copies"]:
+        raise ConfigurationError(
+            f"factory builds k={cluster.strategy.copies}, snapshot has "
+            f"k={snapshot['copies']}"
+        )
+    if cluster.code.describe() != snapshot["code"]:
+        raise ConfigurationError(
+            f"code mismatch: {cluster.code.describe()} vs {snapshot['code']}"
+        )
+
+    for entry in snapshot["devices"]:
+        device = cluster.device(entry["id"])
+        for key_text, payload_hex in entry["shares"].items():
+            address_text, position_text = key_text.split(":")
+            device.store(
+                (int(address_text), int(position_text)),
+                bytes.fromhex(payload_hex),
+            )
+        if not entry["active"]:
+            device.fail()
+    for address_text, block in snapshot["blocks"].items():
+        cluster.restore_block(
+            int(address_text), tuple(block["placement"]), block["size"]
+        )
+    return cluster
+
+
+def restore_from_json(
+    text: str,
+    strategy_factory: StrategyFactory,
+    code: Optional[ErasureCode] = None,
+) -> Cluster:
+    """Rebuild a cluster from :func:`snapshot_to_json` output."""
+    return restore_snapshot(json.loads(text), strategy_factory, code=code)

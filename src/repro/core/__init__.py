@@ -1,0 +1,36 @@
+"""The paper's primary contribution: Redundant Share.
+
+* :class:`~repro.core.redundant_share.RedundantShare` — Algorithms 2/4 via
+  an exact hazard table, O(n + k) lookups.
+* :class:`~repro.core.redundant_share.LinMirror` — the k = 2 special case.
+* :class:`~repro.core.fast_variant.FastRedundantShare` — the Section 3.3
+  precomputed variant, O(k) lookups.
+* :class:`~repro.core.classic.ClassicLinMirror` — the verbatim Algorithm 2
+  with a pluggable ``placeonecopy`` and the b̃ boundary boost (eqs. 2–5).
+* :mod:`repro.core.preprocess` — the hazard-table solver.
+"""
+
+from .balanced_rendezvous import BalancedRendezvous
+from .classic import ClassicLinMirror, boundary_boost
+from .fast_variant import FastRedundantShare
+from .hierarchical import HierarchicalRedundantShare
+from .objectstore import ObjectExtent, ObjectNotFoundError, ObjectStore
+from .preprocess import HazardTable, compute_hazards
+from .redundant_share import LinMirror, RedundantShare
+from .virtualizer import VirtualVolume
+
+__all__ = [
+    "BalancedRendezvous",
+    "ClassicLinMirror",
+    "FastRedundantShare",
+    "HazardTable",
+    "HierarchicalRedundantShare",
+    "LinMirror",
+    "ObjectExtent",
+    "ObjectNotFoundError",
+    "ObjectStore",
+    "RedundantShare",
+    "VirtualVolume",
+    "boundary_boost",
+    "compute_hazards",
+]

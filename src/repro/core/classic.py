@@ -1,0 +1,196 @@
+"""Literal Algorithm 2 (LinMirror) with an explicit ``placeonecopy``.
+
+:class:`~repro.core.redundant_share.RedundantShare` realises the paper's
+strategy through one exact hazard table.  This module keeps the *literal*
+formulation of Section 3.1 alongside it, for fidelity and for the
+``placeonecopy``-backend ablation:
+
+* the primary copy is chosen by the while loop over ``č_i = 2 b_i / B_i``;
+* the secondary copy is delegated to a pluggable fair single-copy strategy
+  (``placeonecopy``) over the remaining bins with natural capacity weights;
+* at the inhomogeneity boundary — the first bin ``T`` with ``č_T >= 1`` —
+  the weight bin ``T`` gets inside the distribution used for primaries on
+  bin ``T - 1`` is boosted to ``b̃`` (equations 2–5 of the paper) so that
+  bin ``T``'s total inflow meets its fair demand exactly.
+
+Both classes are perfectly fair with identical marginals; they differ in
+the joint distribution (which bin pairs co-occur) and in how much data
+moves under reconfiguration, which is precisely what the ablation bench
+measures for the different ``placeonecopy`` backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..capacity.clipping import clip_capacities
+from ..capacity.weights import (
+    first_saturated_index,
+    reach_probabilities,
+    round_probabilities,
+    suffix_sums,
+)
+from ..exceptions import PlacementError
+from ..hashing.primitives import derive_base, unit_from_base
+from ..placement.base import ReplicationStrategy, WeightedPlacer
+from ..placement.rendezvous import make_rendezvous
+from ..types import BinSpec, Placement, sort_bins_by_capacity
+
+#: Secondary-placer factory: (ids, weights, namespace) -> WeightedPlacer.
+PlacerFactory = Callable[[Sequence[str], Sequence[float], str], WeightedPlacer]
+
+
+def boundary_boost(capacities: Sequence[float]) -> Optional[float]:
+    """Compute the paper's ``b̃`` for a clipped, descending capacity vector.
+
+    Returns the boosted weight for bin ``T`` inside the secondary
+    distribution used when the primary lands on bin ``T - 1``, or None when
+    no boost is needed (``T == 0``, or the natural weights are already
+    exact because ``č`` is exactly 1 at the boundary).
+
+    Raises:
+        PlacementError: if the required boost is negative or would need to
+            exceed "all secondaries of bin T-1 go to bin T" — both
+            impossible for correctly clipped inputs.
+    """
+    k = 2
+    sums = suffix_sums(capacities)
+    total = sums[0]
+    rounds = round_probabilities(capacities, k)
+    saturated = first_saturated_index(rounds)
+    if saturated == 0:
+        return None
+    reach = reach_probabilities(rounds)
+    primaries = [
+        min(prob, 1.0) * reach[index] for index, prob in enumerate(rounds)
+    ]
+
+    target = k * capacities[saturated] / total
+    # Natural inflow from primaries strictly before T-1.
+    natural_inflow = sum(
+        primaries[index] * capacities[saturated] / sums[index + 1]
+        for index in range(saturated - 1)
+    )
+    source = primaries[saturated - 1]
+    needed = target - reach[saturated] - natural_inflow
+    if needed < -1e-9:
+        raise PlacementError("boundary bin is over-supplied; clipping broken")
+    if source <= 0.0:
+        raise PlacementError("no primary mass at the boundary predecessor")
+    share = needed / source
+    if share >= 1.0 - 1e-12:
+        # All secondaries of T-1 must go to T: signalled by an "infinite"
+        # boost; the caller treats it as a deterministic choice.
+        return float("inf")
+    if share <= 0.0:
+        return None
+    tail = sums[saturated + 1]
+    return share * tail / (1.0 - share)
+
+
+class ClassicLinMirror(ReplicationStrategy):
+    """The verbatim Algorithm 2, parameterised by ``placeonecopy``."""
+
+    name = "classic-lin-mirror"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        namespace: str = "",
+        placer_factory: PlacerFactory = make_rendezvous,
+        apply_boost: bool = True,
+    ) -> None:
+        """Build the strategy.
+
+        Args:
+            bins: The participating storage devices.
+            namespace: Hash salt prefix.
+            placer_factory: Fair single-copy backend used for the secondary
+                copy (rendezvous by default; consistent hashing and alias
+                backends live in :mod:`repro.placement`).
+            apply_boost: Apply the ``b̃`` boundary adjustment (default).
+                Disabling it reproduces the small unfairness the paper
+                describes in Section 3.1 — used by the ablation bench.
+        """
+        super().__init__(bins, copies=2, namespace=namespace)
+        self._ordered = sort_bins_by_capacity(self._bins)
+        raw = [float(spec.capacity) for spec in self._ordered]
+        self._capacities = clip_capacities(raw, 2)
+        self._rank_ids = [spec.bin_id for spec in self._ordered]
+        self._rounds = [
+            min(1.0, value)
+            for value in round_probabilities(self._capacities, 2)
+        ]
+        self._saturated = first_saturated_index(self._rounds)
+        self._boost = boundary_boost(self._capacities) if apply_boost else None
+        self._placer_factory = placer_factory
+        self._placers: Dict[int, Optional[WeightedPlacer]] = {}
+        self._primary_bases = [
+            derive_base(self._namespace, "primary", bin_id)
+            for bin_id in self._rank_ids
+        ]
+
+    @property
+    def boundary_index(self) -> int:
+        """Rank ``T`` of the deterministic primary stop."""
+        return self._saturated
+
+    @property
+    def boost(self) -> Optional[float]:
+        """The ``b̃`` weight in effect (None when no boost applies)."""
+        return self._boost
+
+    def _secondary_placer(self, primary_rank: int) -> Optional[WeightedPlacer]:
+        """placeonecopy instance for primaries at ``primary_rank`` (cached).
+
+        Returns None when the secondary is forced (one remaining bin or an
+        infinite boost).
+        """
+        if primary_rank in self._placers:
+            return self._placers[primary_rank]
+        ids = self._rank_ids[primary_rank + 1 :]
+        weights = list(self._capacities[primary_rank + 1 :])
+        placer: Optional[WeightedPlacer]
+        if len(ids) == 1:
+            placer = None
+        elif (
+            self._boost is not None
+            and primary_rank == self._saturated - 1
+        ):
+            if self._boost == float("inf"):
+                placer = None  # secondary deterministically at rank T
+            else:
+                weights[0] = self._boost  # rank T is first in the tail
+                placer = self._placer_factory(
+                    ids, weights, f"{self._namespace}/sec/{primary_rank}"
+                )
+        else:
+            placer = self._placer_factory(
+                ids, weights, f"{self._namespace}/sec/{primary_rank}"
+            )
+        self._placers[primary_rank] = placer
+        return placer
+
+    def place(self, address: int) -> Placement:
+        """Primary via the while loop, secondary via placeonecopy."""
+        primary_rank = self._saturated
+        for rank in range(self._saturated):
+            draw = unit_from_base(self._primary_bases[rank], address)
+            if draw < self._rounds[rank]:
+                primary_rank = rank
+                break
+        placer = self._secondary_placer(primary_rank)
+        if placer is None:
+            secondary = self._rank_ids[primary_rank + 1]
+        else:
+            secondary = placer.place(address)
+        return (self._rank_ids[primary_rank], secondary)
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Fair target shares (b̂-proportional); exact for the rendezvous
+        backend, approximate for ring/alias backends."""
+        total = sum(self._capacities)
+        return {
+            bin_id: capacity / total
+            for bin_id, capacity in zip(self._rank_ids, self._capacities)
+        }

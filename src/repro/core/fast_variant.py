@@ -1,0 +1,255 @@
+"""The O(k) Redundant Share variant (Section 3.3 of the paper).
+
+Instead of scanning the bins per copy, this variant precomputes — per
+(copy index, previous bin) state — the conditional landing distribution of
+the next copy, and draws from it directly with a single hash:
+
+* copy 1 uses the marginal distribution ``p_i = č_i * prod_{j<i}(1 - č_j)``;
+* copy ``c > 1`` given "copy ``c-1`` landed on bin ``l``" uses the hazard
+  chain restricted to ranks ``> l``.
+
+That is exactly the paper's "O(n) hash functions per copy, chosen in O(1)"
+construction: O(k·n) state distributions, one draw per copy, O(k) lookup
+(with an O(log n) inverse-CDF per draw in this implementation; the paper's
+O(1) assumes constant-time hash-function evaluation — see the class note).
+
+The joint placement distribution is *identical* to
+:class:`~repro.core.redundant_share.RedundantShare` built from the same
+bins (both are determined by the same hazard table); individual placements
+differ because randomness is consumed differently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hashing.alias import CumulativeTable
+from ..hashing.primitives import (
+    derive_base,
+    unit_from_base,
+    unit_from_base_open,
+)
+from ..placement.base import ReplicationStrategy
+from ..types import BinSpec, Placement
+from .redundant_share import RedundantShare
+
+
+class FastRedundantShare(ReplicationStrategy):
+    """Precomputed-state Redundant Share with O(k) lookups.
+
+    Note on adaptivity: the per-state sampler decides how much data moves
+    when the configuration changes.  The default inverse CDF is fastest
+    but its boundary shifts *cascade*; ``state_selector="rendezvous"``
+    or ``"share"`` confine movement to roughly the total-variation
+    distance between old and new state distributions, at O(n) resp.
+    near-O(1) per copy — the memory/time/adaptivity triangle the paper's
+    Section 3.3 alludes to (measured in
+    ``benchmarks/bench_table_state_selector.py``).
+    """
+
+    name = "fast-redundant-share"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        copies: int = 2,
+        namespace: str = "",
+        clip: bool = True,
+        eager: bool = False,
+        state_selector: str = "cdf",
+    ) -> None:
+        """Build the state tables.
+
+        Args:
+            bins: The participating storage devices.
+            copies: Replication degree ``k``.
+            namespace: Hash salt prefix.
+            clip: Clip capacities per Lemma 2.2 (default).
+            eager: Precompute all O(k·n) state tables up front instead of
+                lazily on first use (lazy is the default: most states are
+                never visited for moderate ball populations).
+            state_selector: Per-state sampling backend.  ``"cdf"`` (default)
+                draws through an inverse CDF — O(log n) per copy but
+                boundary shifts cascade, so reconfigurations move more data
+                than the scan variant.  ``"rendezvous"`` scores the
+                outcomes with weighted rendezvous hashing — adaptivity as
+                good as the scan variant, at O(n) per copy (the paper's
+                "more memory and additional hash functions" trade-off).
+                ``"share"`` uses a per-state Share instance — near-O(1)
+                per copy *and* adaptive, at the cost of (1+eps)-approximate
+                rather than exact per-state fairness.
+        """
+        if state_selector not in ("cdf", "rendezvous", "share"):
+            raise ValueError(
+                f"unknown state_selector {state_selector!r}; "
+                "use 'cdf', 'rendezvous' or 'share'"
+            )
+        super().__init__(bins, copies, namespace)
+        self._state_selector = state_selector
+        self._share_states: Dict[Tuple[int, int], object] = {}
+        # Reuse the scan variant's preprocessing (ordering, clipping,
+        # hazard solve); this also guarantees both variants agree.
+        self._scan = RedundantShare(
+            bins, copies=copies, namespace=namespace, clip=clip
+        )
+        self._rank_ids = [spec.bin_id for spec in self._scan.ordered_bins]
+        self._rank_index = {
+            bin_id: rank for rank, bin_id in enumerate(self._rank_ids)
+        }
+        self._tables: Dict[Tuple[int, int], Optional[CumulativeTable]] = {}
+        self._state_bases: Dict[Tuple[int, int], int] = {}
+        self._rendezvous_bases: Dict[Tuple[int, int], list] = {}
+        if eager:
+            for copy in range(copies):
+                first = -1 if copy == 0 else copy - 1
+                for previous in range(first, len(self._rank_ids)):
+                    self._state_table(copy, previous)
+
+    @property
+    def scan_equivalent(self) -> RedundantShare:
+        """The O(n) strategy this variant is distribution-equivalent to."""
+        return self._scan
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Same closed form as the scan variant."""
+        return self._scan.expected_shares()
+
+    def _state_table(self, copy: int, previous_rank: int) -> Optional[CumulativeTable]:
+        """Conditional distribution table for (copy, previous rank).
+
+        Returns None for degenerate states where the next copy's rank is
+        forced (exactly one positive outcome).
+        """
+        key = (copy, previous_rank)
+        if key in self._tables:
+            return self._tables[key]
+        distribution = self._scan.table.conditional_distribution(
+            copy + 1, previous_rank
+        )
+        tail = distribution[previous_rank + 1 :]
+        positive = [value for value in tail if value > 0.0]
+        table: Optional[CumulativeTable]
+        if len(positive) <= 1:
+            table = None
+        else:
+            table = CumulativeTable(tail)
+        self._tables[key] = table
+        return table
+
+    def _select(self, copy: int, previous_rank: int, address: int) -> int:
+        anchor = "root" if previous_rank < 0 else self._rank_ids[previous_rank]
+        if self._state_selector == "rendezvous":
+            return self._select_rendezvous(copy, previous_rank, anchor, address)
+        if self._state_selector == "share":
+            return self._select_share(copy, previous_rank, anchor, address)
+        table = self._state_table(copy, previous_rank)
+        if table is None:
+            return self._forced_rank(copy, previous_rank)
+        base = self._state_bases.get((copy, previous_rank))
+        if base is None:
+            base = self._state_bases[(copy, previous_rank)] = derive_base(
+                self._namespace, "state", copy, anchor
+            )
+        draw = unit_from_base(base, address)
+        return previous_rank + 1 + table.select(draw)
+
+    def _forced_rank(self, copy: int, previous_rank: int) -> int:
+        """First rank with positive mass after ``previous_rank``."""
+        distribution = self._scan.table.conditional_distribution(
+            copy + 1, previous_rank
+        )
+        for rank in range(previous_rank + 1, len(distribution)):
+            if distribution[rank] > 0.0:
+                return rank
+        raise AssertionError("state has no positive outcome")
+
+    def _select_rendezvous(
+        self, copy: int, previous_rank: int, anchor: str, address: int
+    ) -> int:
+        """Adaptive per-state draw: weighted rendezvous over the outcomes.
+
+        Exactly fair for any weight vector, and stable: a small shift of the
+        conditional distribution only moves a ~total-variation fraction of
+        the balls in this state.
+        """
+        entries = self._rendezvous_bases.get((copy, previous_rank))
+        if entries is None:
+            distribution = self._scan.table.conditional_distribution(
+                copy + 1, previous_rank
+            )
+            entries = [
+                (
+                    rank,
+                    distribution[rank],
+                    derive_base(
+                        self._namespace, "state", copy, anchor,
+                        self._rank_ids[rank],
+                    ),
+                )
+                for rank in range(previous_rank + 1, len(distribution))
+                if distribution[rank] > 0.0
+            ]
+            self._rendezvous_bases[(copy, previous_rank)] = entries
+        best_rank = -1
+        best_score = -math.inf
+        for rank, weight, base in entries:
+            uniform = unit_from_base_open(base, address)
+            score = -weight / math.log(uniform)
+            if score > best_score:
+                best_score = score
+                best_rank = rank
+        if best_rank < 0:
+            raise AssertionError("state has no positive outcome")
+        return best_rank
+
+    def _select_share(
+        self, copy: int, previous_rank: int, anchor: str, address: int
+    ) -> int:
+        """Adaptive near-O(1) per-state draw via a cached Share instance."""
+        from ..placement.share_weighted import ShareWeightedPlacer
+
+        key = (copy, previous_rank)
+        placer = self._share_states.get(key)
+        if placer is None:
+            distribution = self._scan.table.conditional_distribution(
+                copy + 1, previous_rank
+            )
+            ids = []
+            weights = []
+            for rank in range(previous_rank + 1, len(distribution)):
+                if distribution[rank] > 0.0:
+                    ids.append(self._rank_ids[rank])
+                    weights.append(distribution[rank])
+            if len(ids) == 1:
+                placer = ids[0]  # forced outcome, no placer needed
+            else:
+                # A generous stretch keeps the per-state (1+eps) fairness
+                # error well below the Monte-Carlo noise of the benches;
+                # candidate sets stay ~stretch-sized, preserving near-O(1).
+                placer = ShareWeightedPlacer(
+                    ids,
+                    weights,
+                    f"{self._namespace}/state/{copy}/{anchor}",
+                    stretch=16.0,
+                )
+            self._share_states[key] = placer
+        if isinstance(placer, str):
+            chosen = placer
+        else:
+            chosen = placer.place(address)
+        return self._rank_index[chosen]
+
+    def place(self, address: int) -> Placement:
+        """O(k) lookup: one precomputed draw per copy."""
+        ranks: List[int] = []
+        previous = -1
+        for copy in range(self._copies):
+            previous = self._select(copy, previous, address)
+            ranks.append(previous)
+        return tuple(self._rank_ids[rank] for rank in ranks)
+
+    def state_count(self) -> int:
+        """Number of state tables materialised so far (for the memory
+        accounting in the time-efficiency bench)."""
+        return len(self._tables)

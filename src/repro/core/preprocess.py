@@ -1,0 +1,235 @@
+"""Hazard-table preprocessing for Redundant Share.
+
+Redundant Share (Algorithms 2 and 4 of the paper) walks the bins in
+descending capacity order and decides, per bin and per copy, whether the
+copy lands there.  The decision at copy ``c`` (1-based) and bin rank ``i``
+is a Bernoulli draw with a *hazard* probability ``h_c(i)``; the walk is
+memoryless, so the full strategy is characterised by the hazard matrix.
+
+The paper derives the hazards recursively: ``č_i = r * b_i / B_i`` (with
+``r`` copies remaining and ``B_i`` the suffix capacity sum), capped at 1,
+plus a boundary adjustment ``b̃`` (equations 2–5) where the cap makes the
+natural formula under-deliver.  This module computes the same object *in
+closed form*: a forward pass over the bins solves for the exact hazards
+that give every bin its fair expected number of copies
+
+    t_i = k * b̂_i / sum(b̂)          (b̂ = capacities clipped per Lemma 2.2)
+
+while following the paper's allocation structure — natural hazards wherever
+they are exact, and corrections absorbed by the deepest copies (the
+``placeonecopy`` boost of Section 3.1) at inhomogeneity boundaries.
+
+Notation used throughout (all arrays are per copy ``c in 1..k`` and bin
+rank ``i in 0..n-1``):
+
+* ``F_c(i)``  — probability copy ``c`` is placed at rank <= i (CDF).
+* ``R_c(i)``  — probability the copy-``c`` scan *reaches* rank ``i``:
+  ``R_c(i) = F_{c-1}(i-1) - F_c(i-1)`` (copy c-1 done, copy c not yet).
+* ``M_c(i)``  — probability copy ``c`` lands on rank ``i`` (= ``h_c(i) R_c(i)``).
+
+Identities the construction maintains and asserts:
+
+* ``sum_c M_c(i) = t_i``                         (perfect fairness)
+* ``sum_i M_c(i) = 1``                           (every copy is placed)
+* ``M_c(i) = R_c(i)`` whenever ``n - i == k - c + 1``  (termination: copy c
+  must be placed while enough bins remain for the copies after it)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..capacity.weights import suffix_sums
+from ..exceptions import ConfigurationError, PlacementError
+
+#: Numerical tolerance for the conservation asserts.  The forward pass does
+#: O(k n) float operations; 1e-9 leaves ample headroom.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class HazardTable:
+    """The preprocessed description of a Redundant Share instance.
+
+    Attributes:
+        copies: Replication degree ``k``.
+        capacities: Clipped capacities in descending order (``b̂``).
+        targets: Fair per-bin expected copy counts ``t_i`` (sum = k).
+        hazards: ``hazards[c-1][i]`` = probability copy ``c`` selects rank
+            ``i`` given its scan reached rank ``i``.
+        marginals: ``marginals[c-1][i]`` = unconditional probability copy
+            ``c`` lands on rank ``i``.
+        reach: ``reach[c-1][i]`` = probability the copy-``c`` scan reaches
+            rank ``i``.
+    """
+
+    copies: int
+    capacities: List[float]
+    targets: List[float]
+    hazards: List[List[float]]
+    marginals: List[List[float]]
+    reach: List[List[float]]
+
+    @property
+    def bin_count(self) -> int:
+        """Number of bins the table covers."""
+        return len(self.capacities)
+
+    def copy_distribution(self, copy: int) -> List[float]:
+        """Marginal landing distribution of copy ``copy`` (1-based)."""
+        if not 1 <= copy <= self.copies:
+            raise IndexError(f"copy {copy} out of range 1..{self.copies}")
+        return list(self.marginals[copy - 1])
+
+    def conditional_distribution(self, copy: int, previous_rank: int) -> List[float]:
+        """``P(copy c at rank i | copy c-1 at previous_rank)`` for all i.
+
+        The memoryless scan makes this a simple hazard chain; it is the
+        object the O(k) fast variant precomputes per state (Section 3.3).
+        For ``copy == 1`` use ``previous_rank == -1``.
+        """
+        if not 1 <= copy <= self.copies:
+            raise IndexError(f"copy {copy} out of range 1..{self.copies}")
+        if not -1 <= previous_rank < self.bin_count:
+            raise IndexError(f"previous rank {previous_rank} out of range")
+        row = self.hazards[copy - 1]
+        result = [0.0] * self.bin_count
+        survive = 1.0
+        for rank in range(previous_rank + 1, self.bin_count):
+            result[rank] = survive * row[rank]
+            survive *= 1.0 - row[rank]
+        return result
+
+
+def natural_hazard(remaining: int, capacity: float, suffix: float) -> float:
+    """The paper's ``č = r * b_i / B_i``, capped at 1."""
+    return min(1.0, remaining * capacity / suffix)
+
+
+def compute_hazards(capacities: Sequence[float], copies: int) -> HazardTable:
+    """Solve for the exact Redundant Share hazard matrix.
+
+    Args:
+        capacities: *Clipped* capacities sorted in descending order (use
+            :func:`repro.capacity.clip_capacities` first — clipping
+            guarantees ``t_i <= 1`` so the demands are feasible).
+        copies: Replication degree ``k`` with ``1 <= k <= len(capacities)``.
+
+    Raises:
+        ConfigurationError: on invalid inputs.
+        PlacementError: if the forward pass cannot meet a bin's fair demand
+            — impossible for correctly clipped inputs; kept as a hard check
+            of the construction's invariants.
+    """
+    n = len(capacities)
+    if copies < 1:
+        raise ConfigurationError(f"copies must be >= 1, got {copies}")
+    if n < copies:
+        raise ConfigurationError(
+            f"cannot place {copies} distinct copies on {n} bins"
+        )
+    if any(value <= 0 for value in capacities):
+        raise ConfigurationError("capacities must be positive")
+    for left, right in zip(capacities, capacities[1:]):
+        if left < right:
+            raise ConfigurationError("capacities must be sorted descending")
+
+    sums = suffix_sums(capacities)
+    total = sums[0]
+    targets = [copies * value / total for value in capacities]
+    if targets[0] > 1.0 + _EPS:
+        raise ConfigurationError(
+            "largest bin exceeds a 1/k capacity share; clip capacities "
+            "first (Lemma 2.1 / Algorithm 1)"
+        )
+
+    hazards = [[0.0] * n for _ in range(copies)]
+    marginals = [[0.0] * n for _ in range(copies)]
+    reach = [[0.0] * n for _ in range(copies)]
+    # cdf[c] tracks F_{c+1}(i-1) as the pass advances; cdf_virtual = F_0 = 1.
+    cdf = [0.0] * copies
+
+    for i in range(n):
+        # Reach probabilities at this rank, from the CDFs at rank i-1.
+        for c in range(copies):
+            above = 1.0 if c == 0 else cdf[c - 1]
+            reach[c][i] = max(0.0, above - cdf[c])
+
+        demand = min(targets[i], 1.0)
+        allocation = [0.0] * copies
+
+        # 1. Termination constraints: copy c (1-based c = index+1) must be
+        #    placed while k - c bins remain after rank i.
+        bins_after = n - 1 - i
+        for c in range(copies):
+            copies_after = copies - (c + 1)
+            if bins_after <= copies_after and reach[c][i] > 0.0:
+                allocation[c] = reach[c][i]
+        mandatory = sum(allocation)
+        if mandatory > demand + 1e-6:
+            raise PlacementError(
+                f"termination needs {mandatory:.12f} at rank {i}, fair "
+                f"demand is only {demand:.12f}"
+            )
+        remaining = max(0.0, demand - mandatory)
+
+        # 2. Natural allocations (the paper's č), capped by the remaining
+        #    demand, walked from the primary copy downwards.
+        for c in range(copies):
+            if allocation[c] > 0.0 or reach[c][i] <= 0.0:
+                continue
+            natural = natural_hazard(copies - c, capacities[i], sums[i])
+            wanted = min(natural * reach[c][i], remaining)
+            allocation[c] = wanted
+            remaining -= wanted
+            if remaining <= 0.0:
+                remaining = 0.0
+                break
+
+        # 3. Boundary correction: absorb any residual demand with the
+        #    deepest copies that still have slack (the paper's b̃ boost
+        #    lives in placeonecopy, i.e. the last copy).
+        if remaining > _EPS:
+            for c in range(copies - 1, -1, -1):
+                slack = reach[c][i] - allocation[c]
+                if slack <= 0.0:
+                    continue
+                take = min(slack, remaining)
+                allocation[c] += take
+                remaining -= take
+                if remaining <= _EPS:
+                    break
+        if remaining > 1e-6:
+            raise PlacementError(
+                f"rank {i}: fair demand {demand:.12f} cannot be met; "
+                f"residual {remaining:.3e}"
+            )
+
+        # Commit: derive hazards and advance the CDFs.
+        for c in range(copies):
+            marginals[c][i] = allocation[c]
+            if reach[c][i] > 0.0:
+                hazards[c][i] = min(1.0, allocation[c] / reach[c][i])
+            else:
+                # Unreachable state; hazard value is never consulted, but
+                # keep the natural formula for inspection friendliness.
+                hazards[c][i] = natural_hazard(
+                    copies - c, capacities[i], sums[i]
+                )
+            cdf[c] += allocation[c]
+
+    for c in range(copies):
+        if abs(cdf[c] - 1.0) > 1e-6:
+            raise PlacementError(
+                f"copy {c + 1} places with probability {cdf[c]:.12f} != 1"
+            )
+
+    return HazardTable(
+        copies=copies,
+        capacities=list(map(float, capacities)),
+        targets=targets,
+        hazards=hazards,
+        marginals=marginals,
+        reach=reach,
+    )

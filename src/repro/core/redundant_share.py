@@ -1,0 +1,179 @@
+"""Redundant Share — the paper's core contribution (Section 3).
+
+:class:`RedundantShare` implements k-fold replicated placement over
+arbitrary heterogeneous bins with
+
+* **perfect fairness** in expectation (bin ``i`` stores a
+  ``b̂_i / sum(b̂)`` share of all copies, with capacities clipped per
+  Lemma 2.2 so the share is achievable),
+* **redundancy** (the k copies always land on k distinct bins),
+* **O(n + k) lookups** (the Algorithm 2/4 scan),
+* **bounded adaptivity** (expected ``k^2``-competitive block movement under
+  bin insertions/removals — Lemmas 3.2/3.5), and
+* **position awareness** (the i-th copy is identified, so erasure codes can
+  replace plain mirroring).
+
+The scan walks the bins in descending capacity order; at (copy ``c``, bin
+``i``) a pseudo-random draw keyed on *(namespace, copy, bin name, ball
+address)* is compared against the precomputed hazard ``h_c(i)`` (see
+:mod:`repro.core.preprocess`).  Keying draws on bin *names* — not ranks —
+is what keeps decisions stable when unrelated bins enter or leave, the
+essence of the adaptivity bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..capacity.clipping import clip_capacities, is_capacity_efficient
+from ..exceptions import InfeasibleReplicationError
+from ..hashing.primitives import derive_base, unit_from_base
+from ..placement.base import ReplicationStrategy
+from ..types import BinSpec, Placement, sort_bins_by_capacity
+from .preprocess import HazardTable, compute_hazards
+
+
+class RedundantShare(ReplicationStrategy):
+    """k-fold replicated placement with fairness and redundancy."""
+
+    name = "redundant-share"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        copies: int = 2,
+        namespace: str = "",
+        clip: bool = True,
+    ) -> None:
+        """Build the strategy for a configuration snapshot.
+
+        Args:
+            bins: The participating storage devices.
+            copies: Replication degree ``k``.
+            namespace: Hash salt prefix; strategies with equal namespaces
+                and bin names produce correlated placements (intended — it
+                is how adaptivity across configurations works).
+            clip: Clip capacities per Lemma 2.2 / Algorithm 1 when the raw
+                vector is not capacity-efficient (default).  With
+                ``clip=False`` an infeasible vector raises
+                :class:`~repro.exceptions.InfeasibleReplicationError`.
+        """
+        super().__init__(bins, copies, namespace)
+        self._ordered = sort_bins_by_capacity(self._bins)
+        raw = [float(spec.capacity) for spec in self._ordered]
+        if clip:
+            effective = clip_capacities(raw, copies)
+        else:
+            if not is_capacity_efficient(raw, copies):
+                raise InfeasibleReplicationError(
+                    f"k*b_0 = {copies * raw[0]} exceeds B = {sum(raw)} "
+                    "(Lemma 2.1); enable clipping or fix the capacities"
+                )
+            effective = raw
+        self._table = compute_hazards(effective, copies)
+        self._rank_ids = [spec.bin_id for spec in self._ordered]
+        # Per-(copy, rank) salt bases: lookups then mix integers only.
+        self._draw_bases = [
+            [
+                derive_base(self._namespace, "copy", copy, bin_id)
+                for bin_id in self._rank_ids
+            ]
+            for copy in range(copies)
+        ]
+        # Deadline rank for each copy: the scan must select at this rank at
+        # the latest so that enough bins remain for the following copies.
+        self._deadlines = [
+            len(self._ordered) - copies + c for c in range(copies)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self) -> HazardTable:
+        """The preprocessed hazard table (read-only use intended)."""
+        return self._table
+
+    @property
+    def ordered_bins(self) -> List[BinSpec]:
+        """Bins in scan order (descending capacity, ties by id)."""
+        return list(self._ordered)
+
+    def effective_capacities(self) -> Dict[str, float]:
+        """Clipped capacity ``b̂_i`` per bin id."""
+        return {
+            spec.bin_id: capacity
+            for spec, capacity in zip(self._ordered, self._table.capacities)
+        }
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Exact expected share of all stored copies per bin (sums to 1)."""
+        return {
+            spec.bin_id: target / self._copies
+            for spec, target in zip(self._ordered, self._table.targets)
+        }
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _draw(self, copy: int, rank: int, address: int) -> float:
+        return unit_from_base(self._draw_bases[copy][rank], address)
+
+    def place(self, address: int) -> Placement:
+        """Return the ordered bin ids of all ``k`` copies of ``address``."""
+        return tuple(self._walk(address, self._copies))
+
+    def place_copy(self, address: int, position: int) -> str:
+        """Bin of copy ``position`` (0-based) without materialising the rest."""
+        if not 0 <= position < self._copies:
+            raise IndexError(f"copy position {position} out of range")
+        return self._walk(address, position + 1)[-1]
+
+    def _walk(self, address: int, copies_wanted: int) -> List[str]:
+        """The Algorithm 2/4 scan, shared by :meth:`place` and
+        :meth:`place_copy`."""
+        result: List[str] = []
+        rank = 0
+        for copy in range(copies_wanted):
+            hazards = self._table.hazards[copy]
+            deadline = self._deadlines[copy]
+            while True:
+                if (
+                    rank >= deadline
+                    or hazards[rank] >= 1.0
+                    or self._draw(copy, rank, address) < hazards[rank]
+                ):
+                    result.append(self._rank_ids[rank])
+                    rank += 1
+                    break
+                rank += 1
+        return result
+
+    def primary(self, address: int) -> str:
+        """Convenience accessor for the primary copy's bin."""
+        return self.place_copy(address, 0)
+
+
+class LinMirror(RedundantShare):
+    """Algorithm 2: the 2-fold mirroring special case of Redundant Share.
+
+    Kept as its own class because the paper develops and evaluates it
+    separately (Figures 2 and 3); behaviourally identical to
+    ``RedundantShare(copies=2)``.
+    """
+
+    name = "lin-mirror"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        namespace: str = "",
+        clip: bool = True,
+    ) -> None:
+        super().__init__(bins, copies=2, namespace=namespace, clip=clip)
+
+    def secondary(self, address: int) -> str:
+        """Convenience accessor for the mirror copy's bin."""
+        return self.place_copy(address, 1)

@@ -1,0 +1,91 @@
+"""Erasure-code interface.
+
+The paper stresses that Redundant Share "is always able to clearly identify
+the i-th of k copies of a data block", which is exactly what erasure codes
+require: each of the k placed sub-blocks has a distinct meaning.  The codes
+here consume that property — share ``i`` of a block goes to the device
+placement position ``i``.
+
+All codes operate on ``bytes`` and present the same surface:
+
+* :meth:`ErasureCode.encode` — block payload -> list of ``total_shares``
+  share payloads.
+* :meth:`ErasureCode.decode` — any sufficient subset (as a
+  ``{position: payload}`` dict) -> the original block.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..exceptions import DecodingError
+
+
+class ErasureCode(abc.ABC):
+    """Systematic or replicated encoding of one block into shares."""
+
+    #: Short machine-readable code name.
+    name: str = "erasure"
+
+    @property
+    @abc.abstractmethod
+    def total_shares(self) -> int:
+        """Number of shares produced per block (placement degree k)."""
+
+    @property
+    @abc.abstractmethod
+    def data_shares(self) -> int:
+        """Minimum number of shares needed to reconstruct a block."""
+
+    @property
+    def tolerance(self) -> int:
+        """Number of simultaneous share losses the code survives."""
+        return self.total_shares - self.data_shares
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored bytes per payload byte (1.0 = no redundancy)."""
+        return self.total_shares / self.data_shares
+
+    @abc.abstractmethod
+    def encode(self, block: bytes) -> List[bytes]:
+        """Split/encode ``block`` into ``total_shares`` share payloads."""
+
+    @abc.abstractmethod
+    def decode(self, shares: Dict[int, bytes]) -> bytes:
+        """Reconstruct the block from surviving ``{position: payload}``.
+
+        Raises:
+            DecodingError: if fewer than ``data_shares`` shares survive or
+                the payloads are inconsistent.
+        """
+
+    def check_enough(self, shares: Dict[int, bytes]) -> None:
+        """Common precondition check for :meth:`decode` implementations."""
+        if len(shares) < self.data_shares:
+            raise DecodingError(
+                f"{self.name}: {len(shares)} shares cannot reconstruct a "
+                f"block needing {self.data_shares}"
+            )
+        for position in shares:
+            if not 0 <= position < self.total_shares:
+                raise DecodingError(
+                    f"{self.name}: share position {position} out of range"
+                )
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}({self.data_shares}+"
+            f"{self.total_shares - self.data_shares})"
+        )
+
+
+def pad_block(block: bytes, multiple: int) -> bytes:
+    """Pad ``block`` with zeros to a length multiple (codes need aligned
+    stripes); the original length must be tracked by the caller."""
+    remainder = len(block) % multiple
+    if remainder == 0:
+        return block
+    return block + bytes(multiple - remainder)

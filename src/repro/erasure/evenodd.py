@@ -1,0 +1,247 @@
+"""EVENODD — optimal double-erasure XOR code (Blaum/Brady/Bruck/Menon).
+
+Reference [1] of the paper.  For a prime ``p``, a block is arranged into a
+``(p-1) x p`` cell array (``p`` data columns); two parity columns are added:
+
+* column ``p`` (``P``): plain row parity;
+* column ``p+1`` (``Q``): diagonal parity, where every diagonal parity cell
+  additionally XORs the *EVENODD adjuster* ``S`` — the parity of the one
+  diagonal (``i + j ≡ p-1 (mod p)``) that has no parity cell of its own.
+
+Any two column erasures are decodable using only XOR.  The adjuster is what
+distinguishes EVENODD from RDP: it lets both parity columns be computed
+from data columns only (Q does not cover P), at the cost of the ``S`` term.
+
+Decoding computes ``S`` for the erasure pattern at hand and then runs the
+generic peeling solver over the row/diagonal constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..exceptions import DecodingError
+from .base import ErasureCode, pad_block
+from .parity import (
+    Cell,
+    Equation,
+    is_prime,
+    join_cells,
+    peel,
+    split_cells,
+    xor_bytes,
+    xor_many,
+)
+
+
+class EvenOddCode(ErasureCode):
+    """EVENODD(p): p data shares + 2 parity shares, tolerance 2."""
+
+    name = "evenodd"
+
+    def __init__(self, prime: int = 5) -> None:
+        """Build the code.
+
+        Args:
+            prime: The array parameter ``p``; must be a prime >= 3.  The
+                code produces ``p + 2`` shares per block.
+        """
+        if not is_prime(prime) or prime < 3:
+            raise ValueError(f"EVENODD needs a prime p >= 3, got {prime}")
+        self._p = prime
+
+    @property
+    def prime(self) -> int:
+        """The array parameter ``p``."""
+        return self._p
+
+    @property
+    def total_shares(self) -> int:
+        """Shares produced per block."""
+        return self._p + 2
+
+    @property
+    def data_shares(self) -> int:
+        """Minimum shares needed to reconstruct."""
+        return self._p
+
+    def _layout(self, block: bytes) -> List[List[bytes]]:
+        """Pad and split the block into the (p-1) x p data cell array."""
+        p = self._p
+        padded = pad_block(block, p * (p - 1))
+        column_bytes = len(padded) // p
+        columns = [
+            split_cells(
+                padded[j * column_bytes : (j + 1) * column_bytes], p - 1
+            )
+            for j in range(p)
+        ]
+        return columns  # columns[j][i] = cell (row i, column j)
+
+    def _adjuster(self, columns: List[List[bytes]], size: int) -> bytes:
+        """``S``: parity of the diagonal ``i + j ≡ p-1`` (virtual row 0)."""
+        p = self._p
+        parts = []
+        for j in range(p):
+            i = (p - 1 - j) % p
+            if i <= p - 2:
+                parts.append(columns[j][i])
+        return xor_many(parts, size)
+
+    def encode(self, block: bytes) -> List[bytes]:
+        p = self._p
+        columns = self._layout(block)
+        size = len(columns[0][0])
+        row_parity = [
+            xor_many((columns[j][i] for j in range(p)), size)
+            for i in range(p - 1)
+        ]
+        adjuster = self._adjuster(columns, size)
+        diag_parity = []
+        for diagonal in range(p - 1):
+            parts = [adjuster]
+            for j in range(p):
+                i = (diagonal - j) % p
+                if i <= p - 2:
+                    parts.append(columns[j][i])
+            diag_parity.append(xor_many(parts, size))
+        shares = [join_cells(column) for column in columns]
+        shares.append(join_cells(row_parity))
+        shares.append(join_cells(diag_parity))
+        return shares
+
+    def decode(self, shares: Dict[int, bytes]) -> bytes:
+        self.check_enough(shares)
+        p = self._p
+        missing = [pos for pos in range(self.total_shares) if pos not in shares]
+        if not any(position < p for position in missing):
+            return b"".join(shares[j] for j in range(p))
+        if len(missing) > 2:
+            raise DecodingError(
+                f"evenodd tolerates 2 erasures, got {len(missing)}"
+            )
+
+        size = len(next(iter(shares.values()))) // (p - 1)
+        known: Dict[Cell, bytes] = {}
+        for position, payload in shares.items():
+            for i, cell in enumerate(split_cells(payload, p - 1)):
+                known[(i, position)] = cell
+
+        adjuster = self._solve_adjuster(known, missing, size)
+        unknowns: Set[Cell] = {
+            (i, j) for j in missing if j < p for i in range(p - 1)
+        }
+        equations = self._equations(known, missing, adjuster, size)
+        solved = peel(equations, set(unknowns), self.name)
+        known.update(solved)
+        return b"".join(
+            join_cells([known[(i, j)] for i in range(p - 1)]) for j in range(p)
+        )
+
+    def _solve_adjuster(
+        self, known: Dict[Cell, bytes], missing: List[int], size: int
+    ) -> bytes:
+        """Recover ``S`` under the current erasure pattern."""
+        p = self._p
+
+        def diagonal_survivors(diagonal: int) -> bytes:
+            parts = []
+            for j in range(p):
+                i = (diagonal - j) % p
+                if i <= p - 2 and (i, j) in known:
+                    parts.append(known[(i, j)])
+            return xor_many(parts, size)
+
+        data_missing = [j for j in missing if j < p]
+        p_missing = p in missing
+        q_missing = (p + 1) in missing
+
+        if q_missing:
+            # S is only needed to use Q; with Q gone, peeling runs on row
+            # parity alone, and S is irrelevant (encode recomputes it).
+            return bytes(size)
+        if len(data_missing) == 2 and not p_missing and not q_missing:
+            # XOR of all P cells = all-data parity T; XOR of all Q cells =
+            # T xor S (p-1 even), so S = xor(P) xor xor(Q).
+            total_p = xor_many(
+                (known[(i, p)] for i in range(p - 1)), size
+            )
+            total_q = xor_many(
+                (known[(i, p + 1)] for i in range(p - 1)), size
+            )
+            return xor_bytes(total_p, total_q)
+        if p_missing and len(data_missing) == 1:
+            # Use the diagonal through the erased column's virtual cell:
+            # it contains no unknown, so S = Q[u0] xor survivors (or just
+            # the survivors when u0 is the parity-less diagonal).
+            column = data_missing[0]
+            u0 = (column + p - 1) % p
+            if u0 == p - 1:
+                return diagonal_survivors(p - 1)
+            return xor_bytes(known[(u0, p + 1)], diagonal_survivors(u0))
+        if p_missing and not data_missing:
+            # Only P (or P and Q) missing: S comes straight from the data.
+            parts = []
+            for j in range(p):
+                i = (p - 1 - j) % p
+                if i <= p - 2:
+                    parts.append(known[(i, j)])
+            return xor_many(parts, size)
+        # Only data columns missing alongside nothing else (single data
+        # erasure with both parities alive): row parity suffices, but S is
+        # still exactly xor(P) xor xor(Q).
+        total_p = xor_many((known[(i, p)] for i in range(p - 1)), size)
+        total_q = xor_many((known[(i, p + 1)] for i in range(p - 1)), size)
+        return xor_bytes(total_p, total_q)
+
+    def _equations(
+        self,
+        known: Dict[Cell, bytes],
+        missing: List[int],
+        adjuster: bytes,
+        size: int,
+    ) -> List[Equation]:
+        """Build row + diagonal XOR constraints with knowns folded in."""
+        p = self._p
+        equations: List[Equation] = []
+        missing_set = set(missing)
+
+        # Row equations: xor of data row + P cell = 0.
+        if p not in missing_set:
+            for i in range(p - 1):
+                unknown: Set[Cell] = set()
+                parts = [known[(i, p)]]
+                for j in range(p):
+                    if j in missing_set:
+                        unknown.add((i, j))
+                    else:
+                        parts.append(known[(i, j)])
+                equations.append(Equation(unknown, xor_many(parts, size)))
+
+        # Diagonal equations: xor of diagonal data + S + Q cell = 0.
+        if (p + 1) not in missing_set:
+            for diagonal in range(p - 1):
+                unknown = set()
+                parts = [known[(diagonal, p + 1)], adjuster]
+                for j in range(p):
+                    i = (diagonal - j) % p
+                    if i > p - 2:
+                        continue
+                    if j in missing_set:
+                        unknown.add((i, j))
+                    else:
+                        parts.append(known[(i, j)])
+                equations.append(Equation(unknown, xor_many(parts, size)))
+            # The parity-less diagonal: xor of its data cells = S.
+            unknown = set()
+            parts = [adjuster]
+            for j in range(p):
+                i = (p - 1 - j) % p
+                if i > p - 2:
+                    continue
+                if j in missing_set:
+                    unknown.add((i, j))
+                else:
+                    parts.append(known[(i, j)])
+            equations.append(Equation(unknown, xor_many(parts, size)))
+        return equations

@@ -1,0 +1,45 @@
+"""Plain k-fold mirroring as an erasure code.
+
+The degenerate code the paper's experiments use: every share is a full
+copy of the block, any single survivor reconstructs it.  Wrapping it in
+the :class:`~repro.erasure.base.ErasureCode` interface lets the cluster
+layer treat mirroring and parity codes uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import DecodingError
+from .base import ErasureCode
+
+
+class MirrorCode(ErasureCode):
+    """k identical copies; tolerates k-1 losses."""
+
+    name = "mirror"
+
+    def __init__(self, copies: int = 2) -> None:
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        self._copies = copies
+
+    @property
+    def total_shares(self) -> int:
+        """Shares produced per block."""
+        return self._copies
+
+    @property
+    def data_shares(self) -> int:
+        """Minimum shares needed to reconstruct."""
+        return 1
+
+    def encode(self, block: bytes) -> List[bytes]:
+        return [bytes(block) for _ in range(self._copies)]
+
+    def decode(self, shares: Dict[int, bytes]) -> bytes:
+        self.check_enough(shares)
+        payloads = set(shares.values())
+        if len(payloads) > 1:
+            raise DecodingError("mirror copies disagree — corruption detected")
+        return next(iter(payloads))

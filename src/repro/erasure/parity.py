@@ -1,0 +1,123 @@
+"""Shared machinery for the XOR parity-array codes (EVENODD, RDP).
+
+Both codes arrange a block into a ``(p-1) x columns`` cell array and add
+row/diagonal parity columns.  Reconstruction is *peeling*: every parity
+constraint is an XOR equation over cells; repeatedly find an equation with
+exactly one unknown cell and solve it.  For the double-erasure patterns the
+codes are designed for, peeling provably completes (the diagonals of prime
+``p`` form a single zig-zag chain through any two columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import DecodingError
+
+Cell = Tuple[int, int]  # (row, column)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor operands must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def xor_many(parts: Iterable[bytes], size: int) -> bytes:
+    """XOR an iterable of equal-length byte strings (empty -> zeros)."""
+    total = bytearray(size)
+    for part in parts:
+        if len(part) != size:
+            raise ValueError("xor operands must have equal length")
+        for index, value in enumerate(part):
+            total[index] ^= value
+    return bytes(total)
+
+
+def is_prime(value: int) -> bool:
+    """Primality test for the small moduli the parity codes use."""
+    if value < 2:
+        return False
+    if value % 2 == 0:
+        return value == 2
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+class Equation:
+    """One XOR constraint: ``xor(unknown cells) == value``."""
+
+    __slots__ = ("unknowns", "value")
+
+    def __init__(self, unknowns: Set[Cell], value: bytes) -> None:
+        self.unknowns = unknowns
+        self.value = value
+
+    def absorb(self, cell: Cell, payload: bytes) -> None:
+        """Substitute a solved cell into the equation."""
+        self.unknowns.discard(cell)
+        self.value = xor_bytes(self.value, payload)
+
+
+def peel(
+    equations: List[Equation], unknowns: Set[Cell], code_name: str
+) -> Dict[Cell, bytes]:
+    """Solve the system by iterated single-unknown substitution.
+
+    Args:
+        equations: The XOR constraints (consumed/modified in place).
+        unknowns: All cells to solve for.
+        code_name: For error messages.
+
+    Returns:
+        Mapping of every unknown cell to its payload.
+
+    Raises:
+        DecodingError: if peeling stalls (more erasures than the code's
+            designed pattern tolerates).
+    """
+    solved: Dict[Cell, bytes] = {}
+    pending = list(equations)
+    progress = True
+    while unknowns and progress:
+        progress = False
+        for equation in pending:
+            live = equation.unknowns & unknowns
+            if len(live) != 1:
+                continue
+            cell = next(iter(live))
+            # Fold any already-solved cells of this equation first.
+            for other in list(equation.unknowns):
+                if other in solved:
+                    equation.absorb(other, solved[other])
+            payload = equation.value
+            solved[cell] = payload
+            unknowns.discard(cell)
+            for other_equation in pending:
+                if cell in other_equation.unknowns:
+                    other_equation.absorb(cell, payload)
+            progress = True
+    if unknowns:
+        raise DecodingError(
+            f"{code_name}: erasure pattern outside the code's tolerance "
+            f"({len(unknowns)} cells unresolved)"
+        )
+    return solved
+
+
+def split_cells(payload: bytes, rows: int) -> List[bytes]:
+    """Split a column payload into ``rows`` equal cells."""
+    if len(payload) % rows:
+        raise ValueError("column payload not divisible into rows")
+    size = len(payload) // rows
+    return [payload[index * size : (index + 1) * size] for index in range(rows)]
+
+
+def join_cells(cells: Sequence[bytes]) -> bytes:
+    """Concatenate cells back into a column payload."""
+    return b"".join(cells)

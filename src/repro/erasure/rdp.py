@@ -1,0 +1,150 @@
+"""RDP — Row-Diagonal Parity (Corbett et al., FAST 2004).
+
+Reference [3] of the paper.  For a prime ``p``, a block is arranged into a
+``(p-1) x (p-1)`` data cell array; two parity columns are added:
+
+* column ``p-1``: plain row parity over the data columns;
+* column ``p``: diagonal parity, where diagonals run over the data *and*
+  the row-parity column (``i + j ≡ d (mod p)`` for ``j in 0..p-1``), and
+  the diagonal ``d = p-1`` is deliberately left unprotected.
+
+Because diagonals cover the row-parity column, no EVENODD-style adjuster is
+needed; the double-erasure reconstruction is a pure XOR zig-zag, realised
+here with the generic peeling solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..exceptions import DecodingError
+from .base import ErasureCode, pad_block
+from .parity import (
+    Cell,
+    Equation,
+    is_prime,
+    join_cells,
+    peel,
+    split_cells,
+    xor_many,
+)
+
+
+class RowDiagonalParityCode(ErasureCode):
+    """RDP(p): p-1 data shares + 2 parity shares, tolerance 2."""
+
+    name = "rdp"
+
+    def __init__(self, prime: int = 5) -> None:
+        """Build the code.
+
+        Args:
+            prime: The array parameter ``p``; must be a prime >= 3.  The
+                code produces ``p + 1`` shares per block.
+        """
+        if not is_prime(prime) or prime < 3:
+            raise ValueError(f"RDP needs a prime p >= 3, got {prime}")
+        self._p = prime
+
+    @property
+    def prime(self) -> int:
+        """The array parameter ``p``."""
+        return self._p
+
+    @property
+    def total_shares(self) -> int:
+        """Shares produced per block."""
+        return self._p + 1
+
+    @property
+    def data_shares(self) -> int:
+        """Minimum shares needed to reconstruct."""
+        return self._p - 1
+
+    def encode(self, block: bytes) -> List[bytes]:
+        p = self._p
+        data_columns = p - 1
+        padded = pad_block(block, data_columns * (p - 1))
+        column_bytes = len(padded) // data_columns
+        size = column_bytes // (p - 1)
+        columns = [
+            split_cells(
+                padded[j * column_bytes : (j + 1) * column_bytes], p - 1
+            )
+            for j in range(data_columns)
+        ]
+        row_parity = [
+            xor_many((columns[j][i] for j in range(data_columns)), size)
+            for i in range(p - 1)
+        ]
+        extended = columns + [row_parity]  # columns 0..p-1 incl. row parity
+        diag_parity = []
+        for diagonal in range(p - 1):
+            parts = []
+            for j in range(p):
+                i = (diagonal - j) % p
+                if i <= p - 2:
+                    parts.append(extended[j][i])
+            diag_parity.append(xor_many(parts, size))
+        shares = [join_cells(column) for column in columns]
+        shares.append(join_cells(row_parity))
+        shares.append(join_cells(diag_parity))
+        return shares
+
+    def decode(self, shares: Dict[int, bytes]) -> bytes:
+        self.check_enough(shares)
+        p = self._p
+        data_columns = p - 1
+        missing = [pos for pos in range(self.total_shares) if pos not in shares]
+        if not any(position < data_columns for position in missing):
+            return b"".join(shares[j] for j in range(data_columns))
+        if len(missing) > 2:
+            raise DecodingError(f"rdp tolerates 2 erasures, got {len(missing)}")
+
+        size = len(next(iter(shares.values()))) // (p - 1)
+        known: Dict[Cell, bytes] = {}
+        for position, payload in shares.items():
+            for i, cell in enumerate(split_cells(payload, p - 1)):
+                known[(i, position)] = cell
+
+        missing_set = set(missing)
+        # Unknown cells: erased columns among 0..p-1 (data + row parity).
+        unknowns: Set[Cell] = {
+            (i, j)
+            for j in missing_set
+            if j <= p - 1
+            for i in range(p - 1)
+        }
+
+        equations: List[Equation] = []
+        # Row equations need the row-parity cell or treat it as unknown too.
+        for i in range(p - 1):
+            unknown: Set[Cell] = set()
+            parts = []
+            for j in range(p):  # data columns + row parity column
+                if j in missing_set:
+                    unknown.add((i, j))
+                else:
+                    parts.append(known[(i, j)])
+            equations.append(Equation(unknown, xor_many(parts, size)))
+        # Diagonal equations (diagonal p-1 is unprotected by design).
+        if p not in missing_set:
+            for diagonal in range(p - 1):
+                unknown = set()
+                parts = [known[(diagonal, p)]]
+                for j in range(p):
+                    i = (diagonal - j) % p
+                    if i > p - 2:
+                        continue
+                    if j in missing_set:
+                        unknown.add((i, j))
+                    else:
+                        parts.append(known[(i, j)])
+                equations.append(Equation(unknown, xor_many(parts, size)))
+
+        solved = peel(equations, set(unknowns), self.name)
+        known.update(solved)
+        return b"".join(
+            join_cells([known[(i, j)] for i in range(p - 1)])
+            for j in range(data_columns)
+        )

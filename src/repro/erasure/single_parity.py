@@ -1,0 +1,73 @@
+"""Single-parity striping — the RAID-4/RAID-5 code ([10] of the paper).
+
+The simplest parity code: ``data`` payload shares plus one XOR parity
+share; any single loss is recoverable.  Which *device* holds the parity is
+a placement concern, not a coding one — under Redundant Share the parity
+share's position rotates over devices per block automatically, giving the
+RAID-5 "distributed parity" behaviour without a dedicated layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import DecodingError
+from .base import ErasureCode, pad_block
+from .parity import xor_many
+
+
+class SingleParityCode(ErasureCode):
+    """``data`` shares + 1 XOR parity share; tolerance 1."""
+
+    name = "single-parity"
+
+    def __init__(self, data: int) -> None:
+        """Build the code.
+
+        Args:
+            data: Number of data shares (``>= 1``).
+        """
+        if data < 1:
+            raise ValueError(f"data must be >= 1, got {data}")
+        self._data = data
+
+    @property
+    def total_shares(self) -> int:
+        """Shares produced per block."""
+        return self._data + 1
+
+    @property
+    def data_shares(self) -> int:
+        """Minimum shares needed to reconstruct."""
+        return self._data
+
+    def encode(self, block: bytes) -> List[bytes]:
+        padded = pad_block(block, self._data)
+        stripe = len(padded) // self._data
+        shares = [
+            padded[index * stripe : (index + 1) * stripe]
+            for index in range(self._data)
+        ]
+        shares.append(xor_many(shares, stripe))
+        return shares
+
+    def decode(self, shares: Dict[int, bytes]) -> bytes:
+        self.check_enough(shares)
+        lengths = {len(payload) for payload in shares.values()}
+        if len(lengths) != 1:
+            raise DecodingError("single-parity shares have differing lengths")
+        stripe = lengths.pop()
+        missing = [
+            position
+            for position in range(self.total_shares)
+            if position not in shares
+        ]
+        if len(missing) > 1:
+            raise DecodingError(
+                f"single parity tolerates 1 erasure, got {len(missing)}"
+            )
+        if missing and missing[0] < self._data:
+            rebuilt = xor_many(shares.values(), stripe)
+            shares = dict(shares)
+            shares[missing[0]] = rebuilt
+        return b"".join(shares[index] for index in range(self._data))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subclasses are intentionally
+fine-grained: callers of the placement layer typically want to distinguish
+"the configuration is infeasible" (a modelling error they must fix) from
+"a lookup failed" (an internal invariant violation worth reporting upstream).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A strategy or cluster was built from an invalid configuration.
+
+    Examples: duplicate bin identifiers, non-positive capacities, fewer bins
+    than the requested replication degree.
+    """
+
+
+class InfeasibleReplicationError(ConfigurationError):
+    """Fairness and redundancy cannot both hold for the given capacities.
+
+    Raised when a strategy is asked to honour raw capacities that violate
+    Lemma 2.1 (``k * b_0 > B``) and capacity clipping was explicitly
+    disabled.  With clipping enabled (the default) the library adjusts the
+    capacities per Algorithm 1 of the paper instead of raising.
+    """
+
+
+class PlacementError(ReproError):
+    """An individual placement lookup could not be completed.
+
+    This signals a broken internal invariant (e.g. a selection loop that ran
+    off the end of the bin list) and should never occur in correct usage.
+    """
+
+
+class CapacityExceededError(ReproError):
+    """A storage device was asked to hold more blocks than it can store."""
+
+
+class DeviceNotFoundError(ReproError):
+    """An operation referenced a device id that is not part of the cluster."""
+
+
+class BlockNotFoundError(ReproError):
+    """An operation referenced a block that has never been written."""
+
+
+class DecodingError(ReproError):
+    """An erasure code could not reconstruct the original data.
+
+    Raised when more shares were lost than the code tolerates, or when the
+    surviving shares are inconsistent.
+    """

@@ -1,0 +1,34 @@
+"""Deterministic hashing substrate.
+
+Everything random in this library is derived from the stable hash functions
+in :mod:`repro.hashing.primitives`; :mod:`repro.hashing.rings` and
+:mod:`repro.hashing.alias` build the two lookup structures (hash rings,
+alias tables) the placement strategies are made of.
+"""
+
+from .alias import AliasTable, CumulativeTable, build_selector
+from .primitives import (
+    HashStream,
+    hash_sequence,
+    splitmix64,
+    stable_u64,
+    unit_interval,
+    unit_interval_open,
+)
+from .rings import HashRing
+from .universal import CarterWegmanHash, TabulationHash
+
+__all__ = [
+    "AliasTable",
+    "CarterWegmanHash",
+    "CumulativeTable",
+    "HashRing",
+    "HashStream",
+    "TabulationHash",
+    "build_selector",
+    "hash_sequence",
+    "splitmix64",
+    "stable_u64",
+    "unit_interval",
+    "unit_interval_open",
+]

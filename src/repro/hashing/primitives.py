@@ -1,0 +1,173 @@
+"""Deterministic, process-stable hashing primitives.
+
+All randomness in this library is *derived* rather than sampled: a placement
+strategy asked where ball ``a`` lives computes hash values from the ball
+address, the bin names and small integer salts.  This gives the three
+properties the paper relies on:
+
+* **Determinism** — the same question always gets the same answer, across
+  processes and Python versions (unlike the built-in ``hash``, which is
+  randomized per process for strings).
+* **Independence** — distinct salts give (practically) independent values,
+  which is how the O(k) variant of Section 3.3 realises its "O(k*n) hash
+  functions".
+* **Stability under change** — the hash for round ``i`` of LinMirror is keyed
+  on the *name* of the bin at rank ``i``, so inserting an unrelated bin does
+  not re-roll existing decisions; this is what bounds the adaptivity.
+
+The mixer is the 64-bit finalizer of SplitMix64 / MurmurHash3, a well-studied
+bijective avalanche function.  Strings are folded in via FNV-1a before
+mixing.  Everything is pure Python, needs no dependencies, and is fast enough
+for the simulation scales used in the paper's evaluation (millions of balls).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_MASK64 = (1 << 64) - 1
+
+#: 2**-64, used to map 64-bit integers onto [0, 1).
+_INV_2_64 = 1.0 / float(1 << 64)
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+HashablePart = Union[int, str, bytes]
+
+
+def splitmix64(value: int) -> int:
+    """Apply the SplitMix64 finalizer to a 64-bit integer.
+
+    This is a bijection on 64-bit integers with full avalanche: flipping any
+    input bit flips each output bit with probability ~1/2.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _fold_part(state: int, part: HashablePart) -> int:
+    """Fold one part into the running FNV-1a state."""
+    if isinstance(part, int):
+        # Mix the integer through splitmix64 first so that small consecutive
+        # integers (the common case: block addresses) are well spread before
+        # being folded byte-wise.
+        mixed = splitmix64(part & _MASK64)
+        data = mixed.to_bytes(8, "little")
+    elif isinstance(part, str):
+        data = part.encode("utf-8")
+    elif isinstance(part, bytes):
+        data = part
+    else:  # pragma: no cover - defensive, the annotation forbids this
+        raise TypeError(f"unhashable part type: {type(part).__name__}")
+    for byte in data:
+        state = ((state ^ byte) * _FNV_PRIME) & _MASK64
+    # Separate parts so that ("ab", "c") != ("a", "bc").
+    state = ((state ^ 0xFF) * _FNV_PRIME) & _MASK64
+    return state
+
+
+def stable_u64(*parts: HashablePart) -> int:
+    """Hash arbitrary parts (ints, strs, bytes) to a uniform 64-bit integer.
+
+    The result depends on the values *and* the part boundaries, and is stable
+    across processes and platforms.
+    """
+    state = _FNV_OFFSET
+    for part in parts:
+        state = _fold_part(state, part)
+    return splitmix64(state)
+
+
+def unit_interval(*parts: HashablePart) -> float:
+    """Hash arbitrary parts to a float uniformly distributed in ``[0, 1)``."""
+    return stable_u64(*parts) * _INV_2_64
+
+
+def unit_interval_open(*parts: HashablePart) -> float:
+    """Hash to a float in the *open* interval ``(0, 1)``.
+
+    Useful where a subsequent ``log`` or division forbids exact zero (e.g.
+    rendezvous hashing scores).
+    """
+    value = stable_u64(*parts)
+    # Map 0 to the smallest representable step instead.
+    return (value | 1) * _INV_2_64
+
+
+def derive_base(*parts: HashablePart) -> int:
+    """Precompute a 64-bit salt base for a fixed key prefix.
+
+    Placement hot loops draw ``hash(namespace, bin, ..., address)`` per
+    ball; folding the string prefix every time dominates the cost.  Derive
+    the prefix once with this function and combine it with the per-ball
+    integers via :func:`unit_from_base` — same independence, integer-only
+    work per draw.
+    """
+    return stable_u64(*parts)
+
+
+def u64_from_base(base: int, *values: int) -> int:
+    """Combine a precomputed base with per-draw integers to a fresh u64."""
+    state = base
+    for value in values:
+        state = splitmix64(state ^ splitmix64(value & _MASK64))
+    return splitmix64(state)
+
+
+def unit_from_base(base: int, *values: int) -> float:
+    """Like :func:`unit_interval`, from a precomputed base (see
+    :func:`derive_base`)."""
+    return u64_from_base(base, *values) * _INV_2_64
+
+
+def unit_from_base_open(base: int, *values: int) -> float:
+    """Like :func:`unit_interval_open`, from a precomputed base."""
+    return (u64_from_base(base, *values) | 1) * _INV_2_64
+
+
+def hash_sequence(seed: int, count: int) -> list:
+    """Return ``count`` independent 64-bit values derived from ``seed``.
+
+    Equivalent to ``[stable_u64(seed, i) for i in range(count)]`` but cheaper,
+    using the SplitMix64 stream construction.
+    """
+    values = []
+    state = splitmix64(seed & _MASK64)
+    for _ in range(count):
+        state = (state + 0x9E3779B97F4A7C15) & _MASK64
+        values.append(splitmix64(state))
+    return values
+
+
+class HashStream:
+    """An unbounded stream of independent hash draws for one key.
+
+    ``Sieve`` and the trivial replication strategy need "the t-th draw for
+    ball a"; this class packages the salt bookkeeping::
+
+        stream = HashStream("sieve", address)
+        first = stream.next_unit()
+        second = stream.next_unit()
+    """
+
+    def __init__(self, *parts: HashablePart) -> None:
+        self._base = stable_u64(*parts)
+        self._index = 0
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit draw."""
+        value = stable_u64(self._base, self._index)
+        self._index += 1
+        return value
+
+    def next_unit(self) -> float:
+        """Return the next draw mapped to ``[0, 1)``."""
+        return self.next_u64() * _INV_2_64
+
+    @property
+    def draws_made(self) -> int:
+        """Number of draws taken from the stream so far."""
+        return self._index

@@ -1,0 +1,96 @@
+"""Universal hash families: tabulation and Carter-Wegman.
+
+The paper's *compactness* criterion asks that a strategy's metadata stay
+logarithmic in ``N`` and ``m`` — which presumes hash functions whose
+descriptions are small and whose independence properties are sufficient
+for the concentration arguments.  Two standard families are provided:
+
+* **Simple tabulation** (Zobrist): XOR of per-byte lookup tables.
+  3-independent, and by Pătraşcu-Thorup it behaves like full randomness
+  for balls-into-bins style applications.  Description: 8 tables x 256
+  words.
+* **Carter-Wegman multiply-mod-prime**: ``h(x) = ((a x + b) mod p) mod m``
+  with ``p = 2^61 - 1``.  Exactly 2-independent, two words of state.
+
+The default pipeline (:mod:`repro.hashing.primitives`) uses a fixed mixer
+for speed; these families exist for experiments that need *provable*
+independence (and for the statistical tests that validate the mixer
+against them).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .primitives import splitmix64
+
+#: The Mersenne prime 2^61 - 1 used by the Carter-Wegman family.
+MERSENNE_61 = (1 << 61) - 1
+
+_MASK64 = (1 << 64) - 1
+
+
+class TabulationHash:
+    """Simple (Zobrist) tabulation hashing over 64-bit keys."""
+
+    def __init__(self, seed: int = 0) -> None:
+        """Derive the 8 x 256 random tables from ``seed``."""
+        self._tables: List[List[int]] = []
+        state = splitmix64(seed & _MASK64)
+        for _ in range(8):
+            table = []
+            for _ in range(256):
+                state = (state + 0x9E3779B97F4A7C15) & _MASK64
+                table.append(splitmix64(state))
+            self._tables.append(table)
+
+    def __call__(self, key: int) -> int:
+        """Hash a 64-bit key (larger ints are folded modulo 2^64)."""
+        key &= _MASK64
+        result = 0
+        for table in self._tables:
+            result ^= table[key & 0xFF]
+            key >>= 8
+        return result
+
+    def unit(self, key: int) -> float:
+        """Hash to ``[0, 1)``."""
+        return self(key) / float(1 << 64)
+
+
+class CarterWegmanHash:
+    """2-independent multiply-mod-prime hashing onto ``range(buckets)``."""
+
+    def __init__(self, buckets: int, seed: int = 0) -> None:
+        """Draw the (a, b) pair for this family member from ``seed``.
+
+        Args:
+            buckets: Output range size ``m`` (``1 <= m < 2^61 - 1``).
+            seed: Selects the family member deterministically.
+        """
+        if not 1 <= buckets < MERSENNE_61:
+            raise ValueError("buckets must be in [1, 2^61 - 1)")
+        self._buckets = buckets
+        # a in [1, p), b in [0, p).
+        self._a = 1 + splitmix64(seed * 2 + 1) % (MERSENNE_61 - 1)
+        self._b = splitmix64(seed * 2 + 2) % MERSENNE_61
+
+    @property
+    def buckets(self) -> int:
+        """Output range size."""
+        return self._buckets
+
+    def __call__(self, key: int) -> int:
+        """Hash a key into ``range(buckets)``."""
+        return ((self._a * (key % MERSENNE_61) + self._b) % MERSENNE_61) % self._buckets
+
+
+def collision_probability_bound(buckets: int) -> float:
+    """The universal-family guarantee: ``P(h(x) = h(y)) <= 1/m`` for x != y.
+
+    Exposed for the statistical tests, which verify the empirical collision
+    rate of :class:`CarterWegmanHash` against this bound.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be positive")
+    return 1.0 / buckets

@@ -1,0 +1,43 @@
+"""Metrics: fairness (Figures 2/4), adaptivity (Figures 3/5), redundancy."""
+
+from .adaptivity import (
+    MovementReport,
+    compare_strategies,
+    movement_series,
+    optimal_moved_copies,
+)
+from .fairness import (
+    chi_square_statistic,
+    count_copies,
+    fill_percentages,
+    gini_coefficient,
+    jain_index,
+    max_fill_spread,
+    max_share_deviation,
+    usage_shares,
+)
+from .redundancy import (
+    count_violations,
+    data_loss_fraction,
+    survivable_failure_count,
+    worst_failure_pairs,
+)
+
+__all__ = [
+    "MovementReport",
+    "chi_square_statistic",
+    "compare_strategies",
+    "count_copies",
+    "count_violations",
+    "data_loss_fraction",
+    "fill_percentages",
+    "gini_coefficient",
+    "jain_index",
+    "max_fill_spread",
+    "max_share_deviation",
+    "movement_series",
+    "optimal_moved_copies",
+    "survivable_failure_count",
+    "usage_shares",
+    "worst_failure_pairs",
+]

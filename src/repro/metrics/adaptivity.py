@@ -1,0 +1,142 @@
+"""Adaptivity metrics — how much data a reconfiguration moves.
+
+The paper's Figure 3/5 experiments measure, for a configuration change
+(one bin added or removed):
+
+* ``used``      — copies residing on the affected bin (after an insertion,
+  in the new configuration; before a removal, in the old one);
+* ``replaced``  — copies whose device changed between the configurations;
+* ``factor``    — ``replaced / used``, the empirical competitive ratio,
+  bounded by 4 for LinMirror (Lemma 3.2) and ``k²`` in general (Lemma 3.5).
+
+Two notions of "changed" are provided: *positional* (copy ``i`` of a ball
+sits on a different device — what an erasure-coded system must physically
+move, and the paper's accounting) and *set-based* (the device no longer
+holds any copy of the ball — the cheapest possible migration for plain
+mirroring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..placement.base import ReplicationStrategy
+
+
+@dataclass(frozen=True)
+class MovementReport:
+    """Outcome of comparing two configurations over a ball population.
+
+    Attributes:
+        balls: Number of balls compared.
+        copies: Replication degree.
+        moved_positional: Copies whose (position, device) assignment changed.
+        moved_set: Copies that changed device ignoring positions (optimal
+            relabeling within each ball).
+        used_on_affected: Copies on the affected bin (see module docstring).
+        affected_bins: The bin ids whose addition/removal was measured.
+    """
+
+    balls: int
+    copies: int
+    moved_positional: int
+    moved_set: int
+    used_on_affected: int
+    affected_bins: Sequence[str]
+
+    @property
+    def factor_positional(self) -> float:
+        """``replaced / used`` with positional accounting (paper's figure)."""
+        if self.used_on_affected == 0:
+            return 0.0
+        return self.moved_positional / self.used_on_affected
+
+    @property
+    def factor_set(self) -> float:
+        """``replaced / used`` with set-based accounting."""
+        if self.used_on_affected == 0:
+            return 0.0
+        return self.moved_set / self.used_on_affected
+
+
+def compare_strategies(
+    before: ReplicationStrategy,
+    after: ReplicationStrategy,
+    addresses: Iterable[int],
+    affected_bins: Sequence[str] = (),
+) -> MovementReport:
+    """Measure movement between two configuration snapshots.
+
+    Args:
+        before: Strategy over the old configuration.
+        after: Strategy over the new configuration.
+        addresses: Ball population to compare (an iterable of addresses).
+        affected_bins: Bins that were added (count usage in ``after``) or
+            removed (absent from ``after`` — usage counted in ``before``).
+    """
+    if before.copies != after.copies:
+        raise ValueError("strategies must share the replication degree")
+    after_ids = {spec.bin_id for spec in after.bins}
+    added = [bin_id for bin_id in affected_bins if bin_id in after_ids]
+    removed = [bin_id for bin_id in affected_bins if bin_id not in after_ids]
+
+    balls = 0
+    moved_positional = 0
+    moved_set = 0
+    used = 0
+    for address in addresses:
+        balls += 1
+        old = before.place(address)
+        new = after.place(address)
+        moved_positional += sum(
+            1 for source, target in zip(old, new) if source != target
+        )
+        moved_set += len(set(old) - set(new))
+        used += sum(1 for bin_id in new if bin_id in added)
+        used += sum(1 for bin_id in old if bin_id in removed)
+    return MovementReport(
+        balls=balls,
+        copies=before.copies,
+        moved_positional=moved_positional,
+        moved_set=moved_set,
+        used_on_affected=used,
+        affected_bins=tuple(affected_bins),
+    )
+
+
+def optimal_moved_copies(report: MovementReport) -> int:
+    """Lower bound on copies *any* strategy must move for this change.
+
+    Every copy the affected bin holds (gains or loses) necessarily moves;
+    nothing else has to.  The competitive ratio in the paper compares
+    against exactly this bound.
+    """
+    return report.used_on_affected
+
+
+def movement_series(
+    strategies: Sequence[ReplicationStrategy],
+    addresses: Sequence[int],
+    affected: Sequence[Sequence[str]],
+) -> List[MovementReport]:
+    """Compare consecutive snapshots of an evolving system.
+
+    Args:
+        strategies: Configuration snapshots in order.
+        addresses: Ball population.
+        affected: For each transition, the bins added/removed.
+    """
+    if len(affected) != len(strategies) - 1:
+        raise ValueError("need one affected-bin list per transition")
+    reports = []
+    for index in range(len(strategies) - 1):
+        reports.append(
+            compare_strategies(
+                strategies[index],
+                strategies[index + 1],
+                addresses,
+                affected[index],
+            )
+        )
+    return reports

@@ -1,0 +1,75 @@
+"""Redundancy metrics — verifying and valuing the no-colocation property.
+
+The paper's redundancy condition says no two copies of a ball may share a
+device; :func:`count_violations` checks it over a population, and
+:func:`data_loss_fraction` quantifies what the property buys: the fraction
+of balls that would lose *all* copies if a given device set failed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..placement.base import ReplicationStrategy
+
+
+def count_violations(
+    strategy: ReplicationStrategy, addresses: Iterable[int]
+) -> int:
+    """Number of balls whose placement repeats a device."""
+    violations = 0
+    for address in addresses:
+        placement = strategy.place(address)
+        if len(set(placement)) != len(placement):
+            violations += 1
+    return violations
+
+
+def data_loss_fraction(
+    strategy: ReplicationStrategy,
+    addresses: Sequence[int],
+    failed_bins: Set[str],
+) -> float:
+    """Fraction of balls with every copy inside ``failed_bins``."""
+    if not addresses:
+        raise ValueError("need at least one address")
+    lost = 0
+    for address in addresses:
+        placement = strategy.place(address)
+        if all(bin_id in failed_bins for bin_id in placement):
+            lost += 1
+    return lost / len(addresses)
+
+
+def worst_failure_pairs(
+    strategy: ReplicationStrategy,
+    addresses: Sequence[int],
+    limit: int = 10,
+) -> List[Tuple[Tuple[str, str], float]]:
+    """Loss fraction for every device pair, worst first.
+
+    For k = 2 this enumerates exactly the failure patterns that can lose
+    data; useful for comparing placement *spread* (declustering) across
+    strategies.
+    """
+    pair_hits: Dict[Tuple[str, str], int] = {}
+    for address in addresses:
+        placement = strategy.place(address)
+        for pair in itertools.combinations(sorted(set(placement)), 2):
+            pair_hits[pair] = pair_hits.get(pair, 0) + 1
+    if strategy.copies != 2:
+        # For k > 2 a pair failure cannot lose data; report co-location
+        # intensity instead (still pairs, but fractions of co-hosted balls).
+        pass
+    total = len(addresses)
+    ranked = sorted(
+        ((pair, hits / total) for pair, hits in pair_hits.items()),
+        key=lambda item: -item[1],
+    )
+    return ranked[:limit]
+
+
+def survivable_failure_count(strategy: ReplicationStrategy) -> int:
+    """Device losses any placement survives by construction (``k - 1``)."""
+    return strategy.copies - 1

@@ -1,0 +1,97 @@
+"""Placement strategies: the paper's baselines and building blocks.
+
+Single-copy placers (the ``placeonecopy`` role):
+
+* :class:`~repro.placement.rendezvous.RendezvousPlacer` — exactly fair, O(n).
+* :class:`~repro.placement.consistent_hashing.ConsistentHashingPlacer` —
+  Karger et al., approximately fair, O(log n).
+* :class:`~repro.placement.share.SharePlacer` — Share (SPAA 2002).
+* :class:`~repro.placement.sieve.SievePlacer` — Sieve (SPAA 2002).
+* :class:`~repro.placement.distance.LinearDistancePlacer` /
+  :class:`~repro.placement.distance.LogDistancePlacer` — weighted DHTs
+  (SPAA 2005).
+* :class:`~repro.placement.alias_placer.AliasPlacer` — exactly fair, O(1),
+  non-adaptive.
+
+Replication strategies are populated by :mod:`repro.placement.trivial`,
+:mod:`repro.placement.rush`, :mod:`repro.placement.crush` and
+:mod:`repro.placement.striping`; the paper's own strategy lives in
+:mod:`repro.core`.
+"""
+
+from .alias_placer import AliasPlacer, AliasWeightedPlacer, make_alias
+from .base import (
+    ReplicationStrategy,
+    SingleCopyPlacer,
+    WeightedPlacer,
+    check_placement,
+)
+from .consistent_hashing import (
+    ConsistentHashingPlacer,
+    RingWeightedPlacer,
+    make_ring_placer,
+)
+from .distance import LinearDistancePlacer, LogDistancePlacer
+from .crush import (
+    Bucket,
+    ChooseleafCrush,
+    CrushStrategy,
+    ListBucket,
+    Straw2Bucket,
+    TreeBucket,
+    UniformBucket,
+    make_bucket,
+    two_level_map,
+)
+from .rendezvous import RendezvousPlacer, WeightedRendezvous, make_rendezvous
+from .rush import RushStrategy, SubCluster, rush_from_capacities, rush_tree
+from .share import SharePlacer, default_stretch
+from .share_weighted import ShareWeightedPlacer, make_share
+from .sieve import SievePlacer
+from .striping import StripingStrategy, WeightedStripingStrategy
+from .trivial import (
+    TrivialReplication,
+    trivial_miss_probability,
+    trivial_wasted_fraction,
+)
+
+__all__ = [
+    "AliasPlacer",
+    "AliasWeightedPlacer",
+    "Bucket",
+    "ChooseleafCrush",
+    "ConsistentHashingPlacer",
+    "CrushStrategy",
+    "ListBucket",
+    "RushStrategy",
+    "Straw2Bucket",
+    "StripingStrategy",
+    "TreeBucket",
+    "SubCluster",
+    "TrivialReplication",
+    "UniformBucket",
+    "WeightedStripingStrategy",
+    "LinearDistancePlacer",
+    "LogDistancePlacer",
+    "RendezvousPlacer",
+    "ReplicationStrategy",
+    "RingWeightedPlacer",
+    "SharePlacer",
+    "ShareWeightedPlacer",
+    "SievePlacer",
+    "SingleCopyPlacer",
+    "WeightedPlacer",
+    "WeightedRendezvous",
+    "check_placement",
+    "default_stretch",
+    "make_alias",
+    "make_bucket",
+    "make_rendezvous",
+    "make_share",
+    "make_ring_placer",
+    "rush_from_capacities",
+    "rush_tree",
+    "trivial_miss_probability",
+    "trivial_wasted_fraction",
+    "two_level_map",
+]

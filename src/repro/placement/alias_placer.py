@@ -1,0 +1,62 @@
+"""Alias-table placement: exactly fair, O(1) lookups, zero adaptivity.
+
+One hash draw per ball feeds a Walker alias table over the bins.  The share
+of each bin equals its weight *exactly*, and a lookup costs O(1) — this is
+the building block behind the O(k) Redundant Share variant of Section 3.3.
+
+The price is adaptivity: the table is rebuilt on any configuration change and
+ball draws are not correlated with bin identities, so in expectation a
+constant fraction of *all* balls moves when a bin enters or leaves.  The
+ablation bench ``bench_table_placeonecopy_ablation`` quantifies this
+trade-off against rendezvous and consistent hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..hashing.alias import build_selector
+from ..hashing.primitives import unit_interval
+from ..types import BinSpec
+from .base import SingleCopyPlacer, WeightedPlacer
+
+
+class AliasWeightedPlacer(WeightedPlacer):
+    """(ids, weights) alias-table selector."""
+
+    def __init__(
+        self, ids: Sequence[str], weights: Sequence[float], namespace: str
+    ) -> None:
+        if len(ids) != len(weights) or not ids:
+            raise ValueError("ids and weights must be equal-length, non-empty")
+        self._ids = list(ids)
+        self._selector = build_selector([float(weight) for weight in weights])
+        self._namespace = namespace
+
+    def place(self, address: int) -> str:
+        draw = unit_interval(self._namespace, "ball", address)
+        return self._ids[self._selector.select(draw)]
+
+
+class AliasPlacer(SingleCopyPlacer):
+    """Capacity-weighted alias-table placement as a standalone strategy."""
+
+    name = "alias"
+
+    def __init__(self, bins: Sequence[BinSpec], namespace: str = "") -> None:
+        super().__init__(bins, namespace)
+        self._selector = AliasWeightedPlacer(
+            [spec.bin_id for spec in self._bins],
+            [float(spec.capacity) for spec in self._bins],
+            self._namespace,
+        )
+
+    def place(self, address: int) -> str:
+        return self._selector.place(address)
+
+
+def make_alias(
+    ids: Sequence[str], weights: Sequence[float], namespace: str
+) -> AliasWeightedPlacer:
+    """Factory with the ``WeightedPlacerFactory`` signature."""
+    return AliasWeightedPlacer(ids, weights, namespace)

@@ -1,0 +1,166 @@
+"""Interfaces of the placement layer.
+
+Two abstractions:
+
+* :class:`SingleCopyPlacer` — the paper's ``placeonecopy`` role: map a ball
+  address to *one* bin, fairly with respect to a weight vector.  Redundant
+  Share composes these; they are also strategies in their own right
+  (consistent hashing, rendezvous, Share, Sieve, ...).
+
+* :class:`ReplicationStrategy` — map a ball address to an *ordered* tuple of
+  ``k`` distinct bins (position ``i`` holds the i-th copy).  Implementations
+  include the paper's Redundant Share, the trivial baseline, RUSH, CRUSH and
+  RAID striping.
+
+Both are *pure functions of the configuration*: instances are immutable
+snapshots, and dynamics (adding/removing devices) are modelled by building a
+new instance and diffing placements — which is also how the adaptivity
+metrics are defined.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..types import BinSpec, Placement, validate_bins
+
+
+class SingleCopyPlacer(abc.ABC):
+    """Maps ball addresses to a single bin, fairly w.r.t. bin weights."""
+
+    #: Short machine-readable strategy name (used in namespacing and reports).
+    name: str = "single"
+
+    def __init__(self, bins: Sequence[BinSpec], namespace: str = "") -> None:
+        validate_bins(bins)
+        self._bins: List[BinSpec] = list(bins)
+        self._namespace = namespace or self.name
+
+    @property
+    def bins(self) -> List[BinSpec]:
+        """The configuration snapshot this placer was built from."""
+        return list(self._bins)
+
+    @property
+    def namespace(self) -> str:
+        """Salt prefix isolating this placer's hash draws from others."""
+        return self._namespace
+
+    @abc.abstractmethod
+    def place(self, address: int) -> str:
+        """Return the bin id storing ball ``address``."""
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Analytic probability that a ball lands on each bin.
+
+        The default assumes exact capacity-proportional fairness; strategies
+        that are only approximately fair override this.
+        """
+        total = sum(spec.capacity for spec in self._bins)
+        return {spec.bin_id: spec.capacity / total for spec in self._bins}
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name}({len(self._bins)} bins)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+#: Factory signature Redundant Share uses to build ``placeonecopy`` instances
+#: over sub-ranges of bins with (possibly adjusted) weights.
+WeightedPlacerFactory = Callable[[Sequence[str], Sequence[float], str], "WeightedPlacer"]
+
+
+class WeightedPlacer(abc.ABC):
+    """A minimal fair single-copy selector over (ids, weights).
+
+    Unlike :class:`SingleCopyPlacer` this does not carry capacities — it is
+    the internal building block handed to Redundant Share, which supplies the
+    (clipped, possibly boosted) weights itself.
+    """
+
+    @abc.abstractmethod
+    def place(self, address: int) -> str:
+        """Return the selected id for ball ``address``."""
+
+
+class ReplicationStrategy(abc.ABC):
+    """Maps ball addresses to ordered tuples of ``k`` distinct bins."""
+
+    name: str = "replication"
+
+    def __init__(
+        self, bins: Sequence[BinSpec], copies: int, namespace: str = ""
+    ) -> None:
+        validate_bins(bins)
+        if copies < 1:
+            raise ConfigurationError(f"copies must be >= 1, got {copies}")
+        if copies > len(bins):
+            raise ConfigurationError(
+                f"cannot place {copies} distinct copies on {len(bins)} bins"
+            )
+        self._bins: List[BinSpec] = list(bins)
+        self._copies = copies
+        self._namespace = namespace or self.name
+
+    @property
+    def bins(self) -> List[BinSpec]:
+        """The configuration snapshot this strategy was built from."""
+        return list(self._bins)
+
+    @property
+    def copies(self) -> int:
+        """Replication degree ``k``."""
+        return self._copies
+
+    @property
+    def namespace(self) -> str:
+        """Salt prefix isolating this strategy's hash draws from others."""
+        return self._namespace
+
+    @abc.abstractmethod
+    def place(self, address: int) -> Placement:
+        """Return the ordered bin ids of all ``k`` copies of ``address``."""
+
+    def place_copy(self, address: int, position: int) -> str:
+        """Return only the bin of copy ``position`` (0-based).
+
+        Default delegates to :meth:`place`; strategies with cheaper partial
+        lookups may override.
+        """
+        placement = self.place(address)
+        if not 0 <= position < len(placement):
+            raise IndexError(f"copy position {position} out of range")
+        return placement[position]
+
+    def expected_shares(self) -> Optional[Dict[str, float]]:
+        """Analytic share of all copies each bin receives, if known.
+
+        Returns None when the strategy has no closed form (the empirical
+        share is then measured by the metrics layer).
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name}(k={self._copies}, {len(self._bins)} bins)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def check_placement(placement: Placement, copies: int) -> None:
+    """Assert the paper's redundancy invariant on a placement result.
+
+    Raises:
+        ValueError: if the placement has the wrong arity or repeats a bin.
+    """
+    if len(placement) != copies:
+        raise ValueError(
+            f"expected {copies} copies, placement has {len(placement)}"
+        )
+    if len(set(placement)) != len(placement):
+        raise ValueError(f"redundancy violated: duplicate bins in {placement}")

@@ -1,0 +1,117 @@
+"""Consistent hashing (Karger et al., STOC 1997) with capacity weighting.
+
+Each bin places ``points_per_unit * capacity_units`` virtual points on the
+unit circle; a ball lands on the owner of its hash position's clockwise
+successor point.  With ``P`` points per bin the share of a bin concentrates
+around its weight with relative deviation ``O(1/sqrt(P))`` — only
+*approximately* fair, which is one of the motivations for Share and for the
+paper's own strategies (their data structures would need ``n log n`` bits for
+comparable precision, cf. Section 1.2).
+
+Adaptivity is the strategy's strength: adding a bin steals only the arcs the
+new points cover (1-competitive); removing a bin reassigns only its own arcs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..hashing.primitives import derive_base, unit_from_base, unit_interval
+from ..hashing.rings import HashRing
+from ..types import BinSpec
+from .base import SingleCopyPlacer, WeightedPlacer
+
+
+class ConsistentHashingPlacer(SingleCopyPlacer):
+    """Weighted consistent hashing over a configuration of bins."""
+
+    name = "consistent-hashing"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        namespace: str = "",
+        points_per_bin: int = 128,
+        weight_points: bool = True,
+    ) -> None:
+        """Build the ring.
+
+        Args:
+            bins: Configuration snapshot.
+            namespace: Hash salt prefix.
+            points_per_bin: Virtual points for a bin of *average* capacity.
+            weight_points: If true (default), scale each bin's point count by
+                its capacity relative to the average — the standard way to
+                support non-uniform bins.  If false, all bins get the same
+                number of points (the original uniform scheme).
+        """
+        super().__init__(bins, namespace)
+        if points_per_bin < 1:
+            raise ValueError("points_per_bin must be >= 1")
+        self._ring = HashRing(self._namespace)
+        average = sum(spec.capacity for spec in self._bins) / len(self._bins)
+        for spec in self._bins:
+            if weight_points:
+                points = max(1, round(points_per_bin * spec.capacity / average))
+            else:
+                points = points_per_bin
+            self._ring.add_owner(spec.bin_id, points)
+        self._weight_points = weight_points
+        self._ball_base = derive_base(self._namespace, "ball")
+
+    @property
+    def ring(self) -> HashRing:
+        """The underlying hash ring (read-only use intended)."""
+        return self._ring
+
+    def place(self, address: int) -> str:
+        return self._ring.successor(unit_from_base(self._ball_base, address))
+
+    def place_successors(self, address: int, count: int) -> List[str]:
+        """First ``count`` distinct owners clockwise — the classic replica
+        chain used by DHT storage systems (a *trivial* replication in the
+        paper's sense)."""
+        return self._ring.successors(
+            unit_from_base(self._ball_base, address), count
+        )
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Exact arc shares of the concrete ring (not the ideal weights)."""
+        return dict(self._ring.arc_length())  # type: ignore[arg-type]
+
+
+class RingWeightedPlacer(WeightedPlacer):
+    """(ids, weights) consistent-hashing selector for use as placeonecopy.
+
+    Provided for the ablation benches: compared with rendezvous it trades
+    exactness of fairness for O(log n) lookups.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        weights: Sequence[float],
+        namespace: str,
+        points_per_unit: int = 64,
+    ) -> None:
+        if len(ids) != len(weights) or not ids:
+            raise ValueError("ids and weights must be equal-length, non-empty")
+        positive = [(i, w) for i, w in zip(ids, weights) if w > 0]
+        if not positive:
+            raise ValueError("at least one weight must be positive")
+        self._namespace = namespace
+        self._ring = HashRing(namespace)
+        average = sum(w for _, w in positive) / len(positive)
+        for bin_id, weight in positive:
+            self._ring.add_owner(bin_id, max(1, round(points_per_unit * weight / average)))
+
+    def place(self, address: int) -> str:
+        return self._ring.successor(unit_interval(self._namespace, "ball", address))
+
+
+def make_ring_placer(
+    ids: Sequence[str], weights: Sequence[float], namespace: str
+) -> RingWeightedPlacer:
+    """Factory with the ``WeightedPlacerFactory`` signature."""
+    return RingWeightedPlacer(ids, weights, namespace)

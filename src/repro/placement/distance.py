@@ -1,0 +1,90 @@
+"""Weighted distributed hash tables via distance measures.
+
+The geometric strategies of Schindelhauer and Schomaker (SPAA 2005) that the
+paper cites as prior heterogeneous schemes ([11]): bins and balls hash onto
+the unit circle, and a ball is assigned to the bin minimising a *weighted
+distance*:
+
+* **Linear method** — ``d(x, bin) = dist(x, p_bin) / w_bin``: combines
+  consistent hashing with a linearly weighted distance.  Shares are roughly
+  (not exactly) proportional to weights; heavier bins attract longer arcs.
+
+* **Logarithmic method** — ``d(x, bin) = ln(1 / (1 - dist)) / w_bin`` (an
+  exponential race on circular distances).  If the distances were
+  independent uniforms this would give exactly weight-proportional shares
+  (the same mathematics as rendezvous hashing); with a single point per bin
+  on a shared circle the dependence between distances leaves a small bias
+  that decays with more virtual points per bin.
+
+Both support multiple virtual points per bin to sharpen concentration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..hashing.primitives import unit_interval
+from ..types import BinSpec
+from .base import SingleCopyPlacer
+
+
+def circular_distance(a: float, b: float) -> float:
+    """Clockwise distance from ``a`` to ``b`` on the unit circle."""
+    return (b - a) % 1.0
+
+
+class _DistancePlacer(SingleCopyPlacer):
+    """Shared machinery: virtual points plus a per-strategy distance."""
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        namespace: str = "",
+        points_per_bin: int = 16,
+    ) -> None:
+        super().__init__(bins, namespace)
+        if points_per_bin < 1:
+            raise ValueError("points_per_bin must be >= 1")
+        total = sum(spec.capacity for spec in self._bins)
+        self._points: List[Tuple[float, str, float]] = []
+        for spec in self._bins:
+            weight = spec.capacity / total
+            for replica in range(points_per_bin):
+                position = unit_interval(
+                    self._namespace, "point", spec.bin_id, replica
+                )
+                self._points.append((position, spec.bin_id, weight))
+
+    def _distance(self, raw: float, weight: float) -> float:
+        raise NotImplementedError
+
+    def place(self, address: int) -> str:
+        ball = unit_interval(self._namespace, "ball", address)
+        best_id = self._points[0][1]
+        best = math.inf
+        for position, bin_id, weight in self._points:
+            value = self._distance(circular_distance(ball, position), weight)
+            if value < best:
+                best = value
+                best_id = bin_id
+        return best_id
+
+
+class LinearDistancePlacer(_DistancePlacer):
+    """The linear method: minimise ``dist / weight``."""
+
+    name = "linear-method"
+
+    def _distance(self, raw: float, weight: float) -> float:
+        return raw / weight
+
+
+class LogDistancePlacer(_DistancePlacer):
+    """The logarithmic method: minimise ``-ln(1 - dist) / weight``."""
+
+    name = "log-method"
+
+    def _distance(self, raw: float, weight: float) -> float:
+        # raw is in [0, 1); guard the log's argument away from zero.
+        return -math.log(max(1.0 - raw, 1e-300)) / weight

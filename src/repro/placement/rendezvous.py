@@ -1,0 +1,121 @@
+"""Weighted rendezvous hashing (highest random weight).
+
+The cleanest *perfectly fair* single-copy strategy for heterogeneous bins,
+used as the default ``placeonecopy`` backend of Redundant Share:
+
+    score(bin) = - weight(bin) / ln(u)        u = hash(bin, address) in (0,1)
+
+and the ball goes to the bin with the highest score.  Because
+``-w/ln(u) > t  <=>  u > exp(-w/t)``, the score is distributed like an
+exponential race with rate ``1/w``, so
+
+    P(bin i wins) = w_i / sum_j w_j            (exactly)
+
+Rendezvous is 1-competitive for adaptivity: adding a bin moves exactly the
+balls the new bin wins (a ``w_new/W`` fraction), removing a bin moves exactly
+its own balls, and no other assignment changes — each bin's score is
+independent of the others.
+
+Lookup is O(n); the O(1) alternative (at the cost of adaptivity) is
+:mod:`repro.placement.alias_placer`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..hashing.primitives import derive_base, unit_from_base_open
+from ..types import BinSpec
+from .base import SingleCopyPlacer, WeightedPlacer
+
+
+def rendezvous_score(weight: float, uniform: float) -> float:
+    """The HRW score ``-w / ln(u)`` for a draw ``u`` in (0, 1)."""
+    return -weight / math.log(uniform)
+
+
+class WeightedRendezvous(WeightedPlacer):
+    """Bare (ids, weights) rendezvous selector used inside Redundant Share."""
+
+    def __init__(
+        self, ids: Sequence[str], weights: Sequence[float], namespace: str
+    ) -> None:
+        if len(ids) != len(weights):
+            raise ValueError("ids and weights must have equal length")
+        if not ids:
+            raise ValueError("at least one id is required")
+        if any(weight < 0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._ids = list(ids)
+        self._weights = list(weights)
+        self._namespace = namespace
+        # Per-id salt bases: the hot loop then only mixes integers.
+        self._entries = [
+            (bin_id, weight, derive_base(namespace, bin_id))
+            for bin_id, weight in zip(self._ids, self._weights)
+            if weight > 0
+        ]
+
+    def place(self, address: int) -> str:
+        best_id = None
+        best_score = -math.inf
+        for bin_id, weight, base in self._entries:
+            uniform = unit_from_base_open(base, address)
+            score = -weight / math.log(uniform)
+            if score > best_score:
+                best_score = score
+                best_id = bin_id
+        assert best_id is not None  # guaranteed by constructor validation
+        return best_id
+
+    def top(self, address: int, count: int):
+        """The ``count`` highest-scoring ids, best first."""
+        scored = sorted(
+            (
+                (-weight / math.log(unit_from_base_open(base, address)), bin_id)
+                for bin_id, weight, base in self._entries
+            ),
+            reverse=True,
+        )
+        return [bin_id for _, bin_id in scored[:count]]
+
+
+class RendezvousPlacer(SingleCopyPlacer):
+    """Capacity-weighted rendezvous hashing as a standalone strategy."""
+
+    name = "rendezvous"
+
+    def __init__(self, bins: Sequence[BinSpec], namespace: str = "") -> None:
+        super().__init__(bins, namespace)
+        self._selector = WeightedRendezvous(
+            [spec.bin_id for spec in self._bins],
+            [float(spec.capacity) for spec in self._bins],
+            self._namespace,
+        )
+
+    def place(self, address: int) -> str:
+        return self._selector.place(address)
+
+    def place_top(self, address: int, count: int) -> List[str]:
+        """The ``count`` highest-scoring bins, in descending score order.
+
+        This is the classic (trivial, in the paper's terminology) way of
+        deriving k replicas from rendezvous hashing; exposed so the baseline
+        comparison benches can exercise it.
+        """
+        if count > len(self._bins):
+            raise ValueError(
+                f"requested {count} bins, only {len(self._bins)} available"
+            )
+        return self._selector.top(address, count)
+
+
+def make_rendezvous(
+    ids: Sequence[str], weights: Sequence[float], namespace: str
+) -> WeightedRendezvous:
+    """Factory with the :data:`~repro.placement.base.WeightedPlacerFactory`
+    signature; the default ``placeonecopy`` backend."""
+    return WeightedRendezvous(ids, weights, namespace)

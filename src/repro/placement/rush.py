@@ -1,0 +1,296 @@
+"""RUSH — Replication Under Scalable Hashing (Honicky & Miller, IPDPS 03/04).
+
+RUSH maps replicated objects onto storage that grows in *sub-clusters*:
+capacity is added in chunks of identical servers, and the algorithm walks
+the sub-clusters from the most recently added to the oldest, deciding per
+object group how many replicas the sub-cluster keeps before recursing into
+the older ones.  Within a sub-cluster, replicas are spread with a
+prime-stride permutation, which guarantees that no two replicas of an
+object share a server.
+
+The paper under reproduction criticises exactly this chunked growth: a new
+sub-cluster must contain enough servers for a complete redundancy group
+(``disks >= k``), and single-disk additions or per-disk heterogeneity inside
+a chunk are not expressible.  :class:`RushStrategy` enforces that
+restriction (raising :class:`~repro.exceptions.ConfigurationError`) so the
+comparison benches can demonstrate it.
+
+This implementation follows the RUSH_P structure (weighted sub-cluster
+descent + in-cluster permutation).  The sub-cluster replica-count draw uses
+a deterministic rounding of the expected share plus a hashed Bernoulli for
+the fractional remainder — simpler than the original's distribution but
+with the same mean, which is what the fairness comparison exercises; the
+simplification is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..hashing.primitives import stable_u64, unit_interval
+from ..types import BinSpec, Placement
+from .base import ReplicationStrategy
+
+#: Primes used for the in-cluster stride permutation.
+_PRIMES = (
+    1000003, 1000033, 1000037, 1000039, 1000081, 1000099, 1000117, 1000121,
+)
+
+
+@dataclass(frozen=True)
+class SubCluster:
+    """A chunk of identical servers added to the system at one time.
+
+    Attributes:
+        cluster_id: Stable name of the chunk.
+        disks: Number of servers in the chunk.
+        disk_weight: Relative weight of each server (all servers in a chunk
+            are identical — the RUSH restriction).
+    """
+
+    cluster_id: str
+    disks: int
+    disk_weight: float
+
+    def __post_init__(self) -> None:
+        if self.disks < 1:
+            raise ConfigurationError("a sub-cluster needs at least one disk")
+        if self.disk_weight <= 0:
+            raise ConfigurationError("disk weight must be positive")
+
+    @property
+    def weight(self) -> float:
+        """Total weight of the chunk."""
+        return self.disks * self.disk_weight
+
+    def disk_id(self, index: int) -> str:
+        """Stable id of the ``index``-th server of the chunk."""
+        return f"{self.cluster_id}/disk-{index}"
+
+
+class RushStrategy(ReplicationStrategy):
+    """RUSH_P-style placement over a sequence of sub-clusters."""
+
+    name = "rush"
+
+    def __init__(
+        self,
+        clusters: Sequence[SubCluster],
+        copies: int = 2,
+        namespace: str = "",
+    ) -> None:
+        """Build the strategy.
+
+        Args:
+            clusters: Sub-clusters in the order they were added (oldest
+                first).  Every cluster except the first may be smaller than
+                ``copies``; the *first* must be able to hold a complete
+                redundancy group, and the total must as well.
+            copies: Replication degree ``k``.
+            namespace: Hash salt prefix.
+
+        Raises:
+            ConfigurationError: if a sub-cluster smaller than ``copies``
+                would make full groups unplaceable (the RUSH chunk
+                restriction) or if no clusters are given.
+        """
+        if not clusters:
+            raise ConfigurationError("at least one sub-cluster is required")
+        if clusters[0].disks < copies:
+            raise ConfigurationError(
+                f"the base sub-cluster has {clusters[0].disks} disks; RUSH "
+                f"requires every chunk to hold a full group of {copies}"
+            )
+        for cluster in clusters[1:]:
+            if cluster.disks < copies:
+                raise ConfigurationError(
+                    f"sub-cluster {cluster.cluster_id!r} has "
+                    f"{cluster.disks} < k={copies} disks — RUSH requires "
+                    "capacity to be added in chunks that can hold a "
+                    "complete redundancy group"
+                )
+        bins = [
+            BinSpec(cluster.disk_id(index), max(1, round(cluster.disk_weight)))
+            for cluster in clusters
+            for index in range(cluster.disks)
+        ]
+        super().__init__(bins, copies, namespace)
+        self._clusters = list(clusters)
+
+    @property
+    def clusters(self) -> List[SubCluster]:
+        """The sub-cluster layout."""
+        return list(self._clusters)
+
+    def _cluster_replicas(self, address: int) -> List[Tuple[SubCluster, int]]:
+        """Decide how many of the k replicas each sub-cluster stores.
+
+        Walk from the newest chunk to the oldest; chunk ``j`` keeps a
+        ``weight_j / prefix_weight_j`` share of the replicas still
+        unassigned (deterministically rounded, fractional part resolved by
+        a hash draw), capped by its disk count.  The oldest chunk takes the
+        remainder — always possible because it holds >= k disks.
+        """
+        assignments: List[Tuple[SubCluster, int]] = []
+        remaining = self._copies
+        prefix_weight = sum(cluster.weight for cluster in self._clusters)
+        for position in range(len(self._clusters) - 1, 0, -1):
+            cluster = self._clusters[position]
+            if remaining == 0:
+                break
+            share = cluster.weight / prefix_weight
+            expected = remaining * share
+            count = int(expected)
+            fraction = expected - count
+            if fraction > 0 and (
+                unit_interval(
+                    self._namespace, "cluster", cluster.cluster_id, address
+                )
+                < fraction
+            ):
+                count += 1
+            count = min(count, cluster.disks, remaining)
+            if count:
+                assignments.append((cluster, count))
+                remaining -= count
+            prefix_weight -= cluster.weight
+        if remaining:
+            assignments.append((self._clusters[0], remaining))
+        return assignments
+
+    def _disks_within(
+        self, cluster: SubCluster, count: int, address: int
+    ) -> List[str]:
+        """Pick ``count`` distinct disks of a chunk via a prime stride."""
+        base = stable_u64(self._namespace, "base", cluster.cluster_id, address)
+        start = base % cluster.disks
+        if cluster.disks == 1:
+            return [cluster.disk_id(0)]
+        prime = _PRIMES[base % len(_PRIMES)]
+        stride = 1 + prime % (cluster.disks - 1)
+        # stride in 1..disks-1 and disks need not be prime; walk with the
+        # stride but fall back to linear probing on revisit to guarantee
+        # `count` distinct disks.
+        chosen: List[str] = []
+        seen = set()
+        index = start
+        while len(chosen) < count:
+            if index in seen:
+                index = (index + 1) % cluster.disks
+                continue
+            seen.add(index)
+            chosen.append(cluster.disk_id(index))
+            index = (index + stride) % cluster.disks
+        return chosen
+
+    def place(self, address: int) -> Placement:
+        placement: List[str] = []
+        for cluster, count in self._cluster_replicas(address):
+            placement.extend(self._disks_within(cluster, count, address))
+        return tuple(placement[: self._copies])
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Design-target shares (weight-proportional).
+
+        RUSH only approximates these on heterogeneous chunk layouts — the
+        gap is what the baseline bench reports.
+        """
+        total = sum(cluster.weight for cluster in self._clusters)
+        shares: Dict[str, float] = {}
+        for cluster in self._clusters:
+            for index in range(cluster.disks):
+                shares[cluster.disk_id(index)] = cluster.disk_weight / total
+        return shares
+
+
+def rush_tree(
+    clusters: Sequence[SubCluster], copies: int = 2, namespace: str = ""
+):
+    """RUSH_T-style placement: tree descent over sub-clusters.
+
+    RUSH_T replaces RUSH_P's linear most-recent-first walk with a weighted
+    binary tree over the sub-clusters, improving update locality.  The
+    same structure is exactly a CRUSH map whose root is a tree bucket of
+    per-cluster straw buckets, so this helper builds that map rather than
+    duplicating the machinery; the chunk restriction is still enforced.
+
+    Returns:
+        A :class:`~repro.placement.crush.CrushStrategy` over the chunk
+        layout.
+    """
+    from ..types import BinSpec
+    from .crush import CrushStrategy, make_bucket
+
+    if not clusters:
+        raise ConfigurationError("at least one sub-cluster is required")
+    for cluster in clusters:
+        if cluster.disks < copies:
+            raise ConfigurationError(
+                f"sub-cluster {cluster.cluster_id!r} has {cluster.disks} "
+                f"< k={copies} disks — RUSH requires chunks that can hold "
+                "a complete redundancy group"
+            )
+    items = []
+    weights = []
+    bins = []
+    for cluster in clusters:
+        ids = [cluster.disk_id(index) for index in range(cluster.disks)]
+        bucket = make_bucket(
+            "straw2", f"rush-t/{cluster.cluster_id}", ids,
+            [cluster.disk_weight] * cluster.disks,
+        )
+        items.append(bucket)
+        weights.append(cluster.weight)
+        bins.extend(
+            BinSpec(disk_id, max(1, round(cluster.disk_weight)))
+            for disk_id in ids
+        )
+    root = make_bucket("tree", "rush-t/root", items, weights)
+    return CrushStrategy(
+        bins, copies=copies, namespace=namespace or "rush-t", root=root
+    )
+
+
+def rush_from_capacities(
+    capacities: Sequence[int],
+    copies: int = 2,
+    chunk: int = 0,
+    namespace: str = "",
+) -> RushStrategy:
+    """Helper: wrap a flat capacity vector into same-size RUSH chunks.
+
+    Args:
+        capacities: Per-disk capacities; disks are grouped consecutively
+            into chunks of size ``chunk`` (default: one chunk per distinct
+            capacity value run, which mimics how a system actually grows).
+        copies: Replication degree.
+        chunk: Fixed chunk size; 0 groups runs of equal capacity.
+    """
+    clusters: List[SubCluster] = []
+    if chunk > 0:
+        for start in range(0, len(capacities), chunk):
+            group = capacities[start : start + chunk]
+            weight = sum(group) / len(group)
+            clusters.append(
+                SubCluster(f"chunk-{len(clusters)}", len(group), weight)
+            )
+    else:
+        index = 0
+        while index < len(capacities):
+            run_end = index
+            while (
+                run_end < len(capacities)
+                and capacities[run_end] == capacities[index]
+            ):
+                run_end += 1
+            clusters.append(
+                SubCluster(
+                    f"chunk-{len(clusters)}",
+                    run_end - index,
+                    float(capacities[index]),
+                )
+            )
+            index = run_end
+    return RushStrategy(clusters, copies=copies, namespace=namespace)

@@ -1,0 +1,61 @@
+"""The Sieve strategy (Brinkmann, Salzwedel, Scheideler — SPAA 2002).
+
+Sieve realises fair heterogeneous placement by *sieving* a stream of uniform
+candidates: draw a bin uniformly at random, accept it with probability
+proportional to its capacity relative to the largest bin, and repeat on
+rejection.  Acceptance thresholds are what the original paper encodes in its
+compact "sieve" data structure; the rejection formulation used here is
+mathematically identical:
+
+    P(bin i accepted at a given round) = (1/n) * (b_i / b_max)
+    =>  P(ball lands on bin i)         = b_i / sum_j b_j       (exactly)
+
+The number of rounds is geometric with mean ``b_max / b_avg`` — constant for
+bounded heterogeneity.  A deterministic per-ball hash stream supplies the
+draws, so lookups are stable; a (probabilistically unreachable) round cap
+falls back to rendezvous to keep lookups total.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..hashing.primitives import HashStream, derive_base
+from ..types import BinSpec
+from .base import SingleCopyPlacer
+from .rendezvous import WeightedRendezvous
+
+#: Upper bound on sieve rounds before the deterministic fallback engages.
+#: With acceptance probability >= 1/n per round the chance of exhausting the
+#: cap is below (1 - 1/n)^512 — negligible for the bin counts studied here.
+MAX_ROUNDS = 512
+
+
+class SievePlacer(SingleCopyPlacer):
+    """Sieve (rejection-sampling) placement over a configuration of bins."""
+
+    name = "sieve"
+
+    def __init__(self, bins: Sequence[BinSpec], namespace: str = "") -> None:
+        super().__init__(bins, namespace)
+        self._max_capacity = max(spec.capacity for spec in self._bins)
+        self._stream_base = derive_base(self._namespace, "ball")
+        self._fallback = WeightedRendezvous(
+            [spec.bin_id for spec in self._bins],
+            [float(spec.capacity) for spec in self._bins],
+            self._namespace + "/fallback",
+        )
+
+    def place(self, address: int) -> str:
+        stream = HashStream(self._stream_base, address)
+        count = len(self._bins)
+        for _ in range(MAX_ROUNDS):
+            candidate = self._bins[int(stream.next_unit() * count) % count]
+            if stream.next_unit() * self._max_capacity < candidate.capacity:
+                return candidate.bin_id
+        return self._fallback.place(address)
+
+    def expected_rounds(self) -> float:
+        """Mean number of sieve rounds per lookup (``b_max / b_avg``)."""
+        average = sum(spec.capacity for spec in self._bins) / len(self._bins)
+        return self._max_capacity / average

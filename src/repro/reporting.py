@@ -1,0 +1,60 @@
+"""Plain-text report rendering shared by the CLI, benches and examples.
+
+Nothing clever: fixed-width tables with a title banner, plus helpers for
+formatting shares and fill levels consistently across all surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def render_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Format a fixed-width table with a title banner."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = ["", f"=== {title} ==="]
+    lines.append(
+        "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Render and print a table."""
+    print(render_table(title, header, rows))
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """``0.1234 -> '12.34%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def share_table(
+    title: str,
+    observed: Mapping[str, float],
+    expected: Mapping[str, float],
+) -> str:
+    """Standard observed-vs-expected share table, sorted by key."""
+    rows = []
+    for key in sorted(set(observed) | set(expected)):
+        rows.append(
+            (
+                key,
+                format_percent(observed.get(key, 0.0)),
+                format_percent(expected.get(key, 0.0)),
+            )
+        )
+    return render_table(title, ["bin", "observed", "expected"], rows)

@@ -1,0 +1,39 @@
+"""Scenario builders, experiment runners and the event engine."""
+
+from .engine import Simulator
+from .traceplayer import DeviceLoad, PlaybackReport, TracePlayer
+from .runner import (
+    AdaptivityResult,
+    FairnessResult,
+    run_adaptivity,
+    run_fairness,
+)
+from .scenarios import (
+    AddRemoveCase,
+    GrowthStep,
+    add_remove_cases,
+    capacity_change_cases,
+    heterogeneous_bins,
+    homogeneous_bins,
+    paper_growth_steps,
+    scaling_cases,
+)
+
+__all__ = [
+    "AdaptivityResult",
+    "AddRemoveCase",
+    "DeviceLoad",
+    "FairnessResult",
+    "GrowthStep",
+    "PlaybackReport",
+    "Simulator",
+    "TracePlayer",
+    "add_remove_cases",
+    "capacity_change_cases",
+    "heterogeneous_bins",
+    "homogeneous_bins",
+    "paper_growth_steps",
+    "run_adaptivity",
+    "run_fairness",
+    "scaling_cases",
+]

@@ -1,0 +1,77 @@
+"""A minimal discrete-event simulation engine.
+
+The placement experiments are time-free, but the failure-recovery example
+wants realistic interleavings (failures arriving while rebuilds run).  This
+engine is deliberately tiny: a priority queue of timestamped callbacks with
+deterministic tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Action = Callable[[], None]
+
+
+class Simulator:
+    """Event-driven clock with schedule/run semantics."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Action]] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Run ``action`` ``delay`` time units from now.
+
+        Raises:
+            ValueError: for negative delays.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), action)
+        )
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Run ``action`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (time, next(self._counter), action))
+
+    def step(self) -> bool:
+        """Execute the next event; False if the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, action = heapq.heappop(self._queue)
+        self._now = time
+        action()
+        self._processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue empties or ``until`` is reached."""
+        while self._queue:
+            time = self._queue[0][0]
+            if until is not None and time > until:
+                break
+            self.step()
+        if until is not None and (not self._queue or self._queue[0][0] > until):
+            self._now = max(self._now, until)
+
+    def pending(self) -> int:
+        """Number of scheduled events not yet run."""
+        return len(self._queue)

@@ -1,0 +1,211 @@
+"""The paper's evaluation scenarios as reusable configuration builders.
+
+Section 3.1: "We started the tests with 8 heterogeneous bins.  The first
+has a capacity of 500,000 blocks, for the other bins the size is increased
+by 100,000 blocks with each bin, so the last bin has a capacity of
+1,200,000 blocks.  [...] we added two times two bins.  The new bins are
+growing by the same factor as the first did.  Then we removed two times
+the two smallest bins."
+
+:func:`paper_growth_steps` reproduces that sequence (Figures 2 and 4);
+:func:`add_remove_cases` builds the eight Figure 3 cases; the sweep helpers
+drive Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..types import BinSpec
+
+#: Default capacity scale.  The paper uses blocks of 500,000..; the bench
+#: uses the same *ratios* at a laptop-friendly scale by default and can be
+#: dialled up to the paper's absolute numbers.
+PAPER_BASE = 500_000
+PAPER_STEP = 100_000
+
+
+def heterogeneous_bins(
+    count: int, base: int = PAPER_BASE, step: int = PAPER_STEP, start_index: int = 0
+) -> List[BinSpec]:
+    """``count`` bins with capacities ``base, base+step, ...``.
+
+    ``start_index`` offsets the naming so that growth steps extend rather
+    than rename the population (names are what placement stability keys on).
+    """
+    return [
+        BinSpec(f"disk-{start_index + i:02d}", base + (start_index + i) * step)
+        for i in range(count)
+    ]
+
+
+def homogeneous_bins(count: int, capacity: int = PAPER_BASE) -> List[BinSpec]:
+    """``count`` equal bins."""
+    return [BinSpec(f"disk-{i:02d}", capacity) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class GrowthStep:
+    """One configuration of the Figure 2/4 growth experiment.
+
+    Attributes:
+        label: The paper's series label, e.g. ``"10 Disks"``.
+        bins: The configuration.
+    """
+
+    label: str
+    bins: Tuple[BinSpec, ...]
+
+
+def paper_growth_steps(
+    base: int = PAPER_BASE, step: int = PAPER_STEP
+) -> List[GrowthStep]:
+    """The 8 -> 10 -> 12 -> 10 -> 8 disk sequence of Figures 2 and 4."""
+    eight = heterogeneous_bins(8, base, step)
+    ten = eight + heterogeneous_bins(2, base, step, start_index=8)
+    twelve = ten + heterogeneous_bins(2, base, step, start_index=10)
+    # Remove the two smallest (disk-00, disk-01), then the next two.
+    ten_shrunk = twelve[2:]
+    eight_shrunk = twelve[4:]
+    return [
+        GrowthStep("8 Disks", tuple(eight)),
+        GrowthStep("10 Disks", tuple(ten)),
+        GrowthStep("12 Disks", tuple(twelve)),
+        GrowthStep("10 Disks (shrunk)", tuple(ten_shrunk)),
+        GrowthStep("8 Disks (shrunk)", tuple(eight_shrunk)),
+    ]
+
+
+@dataclass(frozen=True)
+class AddRemoveCase:
+    """One Figure 3 adaptivity case.
+
+    Attributes:
+        label: e.g. ``"het. add big"``.
+        before: Configuration before the change.
+        after: Configuration after the change.
+        affected: The bin id added or removed.
+    """
+
+    label: str
+    before: Tuple[BinSpec, ...]
+    after: Tuple[BinSpec, ...]
+    affected: str
+
+
+def add_remove_cases(
+    count: int = 8, base: int = PAPER_BASE, step: int = PAPER_STEP
+) -> List[AddRemoveCase]:
+    """The eight Figure 3 cases: {het, hom} x {add, remove} x {big, small}."""
+    cases: List[AddRemoveCase] = []
+    for flavor in ("het", "hom"):
+        if flavor == "het":
+            # Heterogeneous: position in the capacity order is driven by a
+            # strictly larger/smaller capacity (the paper grows its new
+            # bins "by the same factor as the first did").
+            bins = heterogeneous_bins(count, base, step)
+            big = BinSpec("new-big", bins[-1].capacity + step)
+            small = BinSpec("new-small", max(1, bins[0].capacity - step))
+        else:
+            # Homogeneous: the added bin has the same capacity; whether it
+            # lands at the beginning or the end of the ordered list is
+            # decided by the deterministic id tie-break.
+            bins = homogeneous_bins(count, base)
+            big = BinSpec("aa-new-big", base)  # ties sort by id: first
+            small = BinSpec("zz-new-small", base)  # ties sort by id: last
+        cases.append(
+            AddRemoveCase(
+                f"{flavor}. add big", tuple(bins), tuple(bins) + (big,), big.bin_id
+            )
+        )
+        cases.append(
+            AddRemoveCase(
+                f"{flavor}. add small",
+                tuple(bins),
+                tuple(bins) + (small,),
+                small.bin_id,
+            )
+        )
+        # "Biggest"/"smallest" refer to the position in the strategy's scan
+        # order (descending capacity, ties by id) — the paper's "beginning
+        # and end of the list".
+        big_existing = min(bins, key=lambda spec: (-spec.capacity, spec.bin_id))
+        small_existing = max(bins, key=lambda spec: (-spec.capacity, spec.bin_id))
+        cases.append(
+            AddRemoveCase(
+                f"{flavor}. rem. big",
+                tuple(bins),
+                tuple(spec for spec in bins if spec.bin_id != big_existing.bin_id),
+                big_existing.bin_id,
+            )
+        )
+        cases.append(
+            AddRemoveCase(
+                f"{flavor}. rem. small",
+                tuple(bins),
+                tuple(
+                    spec for spec in bins if spec.bin_id != small_existing.bin_id
+                ),
+                small_existing.bin_id,
+            )
+        )
+    return cases
+
+
+def capacity_change_cases(
+    count: int = 8,
+    base: int = PAPER_BASE,
+    step: int = PAPER_STEP,
+    growth: float = 0.5,
+) -> List[AddRemoveCase]:
+    """Adaptivity under *capacity* changes (no device enters or leaves).
+
+    The paper's adaptivity criterion covers "any change in the set of data
+    blocks, storage devices, **or their capacities**"; these cases grow one
+    existing device — the biggest or the smallest — by ``growth`` of its
+    size and treat it as the affected bin.
+    """
+    bins = heterogeneous_bins(count, base, step)
+    cases: List[AddRemoveCase] = []
+    for label, index in (("grow biggest", count - 1), ("grow smallest", 0)):
+        target = bins[index]
+        resized = BinSpec(target.bin_id, int(target.capacity * (1 + growth)))
+        after = tuple(
+            resized if spec.bin_id == target.bin_id else spec for spec in bins
+        )
+        cases.append(
+            AddRemoveCase(label, tuple(bins), after, target.bin_id)
+        )
+    return cases
+
+
+def scaling_cases(
+    sizes: Sequence[int], capacity: int = PAPER_BASE
+) -> List[AddRemoveCase]:
+    """Figure 5: homogeneous systems of n bins, adding one bin as the
+    biggest or as the smallest, for each n in ``sizes``."""
+    cases: List[AddRemoveCase] = []
+    for n in sizes:
+        bins = homogeneous_bins(n, capacity)
+        # "Biggest": sorts to rank 0 (strictly larger capacity).
+        big = BinSpec("zz-new", capacity + 1)
+        # "Smallest": sorts to the last rank (strictly smaller capacity).
+        small = BinSpec("aa-new", capacity - 1)
+        cases.append(
+            AddRemoveCase(
+                f"n={n} add biggest",
+                tuple(bins),
+                tuple(bins) + (big,),
+                big.bin_id,
+            )
+        )
+        cases.append(
+            AddRemoveCase(
+                f"n={n} add smallest",
+                tuple(bins),
+                tuple(bins) + (small,),
+                small.bin_id,
+            )
+        )
+    return cases

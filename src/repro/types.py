@@ -1,0 +1,97 @@
+"""Shared value types used across the placement, cluster and metric layers.
+
+The central abstraction is the *bin* (the paper's term for a storage device):
+an identifier plus a capacity measured in blocks.  Placement strategies are
+constructed from an immutable sequence of :class:`BinSpec` and map *ball*
+addresses (block numbers) to bins.
+
+A :class:`Placement` is the ordered result of placing one ball: position
+``0`` is the primary copy, position ``1`` the secondary, and so on.  The
+order is meaningful — the paper requires strategies to "clearly identify the
+i-th of k copies" so that erasure-coded sub-blocks (which are not
+interchangeable) can be layered on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: A ball identifier (virtual block address).  Any non-negative integer.
+Address = int
+
+#: An ordered tuple of bin ids; index i holds the i-th copy of the ball.
+Placement = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BinSpec:
+    """A storage device ("bin") participating in placement.
+
+    Attributes:
+        bin_id: Unique, stable name of the device.  The randomness used by
+            the placement strategies is keyed on this name, which is what
+            makes placements stable when *other* devices enter or leave.
+        capacity: Number of block copies the device can store (``b_i`` in
+            the paper).  Must be positive.
+    """
+
+    bin_id: str
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if not self.bin_id:
+            raise ValueError("bin_id must be a non-empty string")
+        if self.capacity <= 0:
+            raise ValueError(
+                f"capacity of bin {self.bin_id!r} must be positive, got {self.capacity}"
+            )
+
+
+def validate_bins(bins: Sequence[BinSpec]) -> None:
+    """Check that a bin sequence is usable by a placement strategy.
+
+    Raises:
+        ValueError: if ``bins`` is empty or contains duplicate ids.
+    """
+    if not bins:
+        raise ValueError("at least one bin is required")
+    seen = set()
+    for spec in bins:
+        if spec.bin_id in seen:
+            raise ValueError(f"duplicate bin id {spec.bin_id!r}")
+        seen.add(spec.bin_id)
+
+
+def sort_bins_by_capacity(bins: Iterable[BinSpec]) -> List[BinSpec]:
+    """Return bins sorted by descending capacity.
+
+    Ties are broken by bin id so the order — and therefore every placement
+    decision derived from it — is deterministic.
+    """
+    return sorted(bins, key=lambda spec: (-spec.capacity, spec.bin_id))
+
+
+def total_capacity(bins: Iterable[BinSpec]) -> int:
+    """Sum of the capacities of ``bins`` (``B`` in the paper)."""
+    return sum(spec.capacity for spec in bins)
+
+
+def relative_capacities(bins: Sequence[BinSpec]) -> Dict[str, float]:
+    """Map each bin id to its relative capacity ``c_i = b_i / B``."""
+    total = total_capacity(bins)
+    return {spec.bin_id: spec.capacity / total for spec in bins}
+
+
+def bins_from_capacities(
+    capacities: Sequence[int], prefix: str = "bin"
+) -> List[BinSpec]:
+    """Convenience constructor: build bins named ``{prefix}-{index}``.
+
+    Useful in tests, examples and benchmarks where only the capacity vector
+    matters.
+    """
+    return [
+        BinSpec(bin_id=f"{prefix}-{index}", capacity=capacity)
+        for index, capacity in enumerate(capacities)
+    ]

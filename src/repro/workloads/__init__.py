@@ -1,0 +1,20 @@
+"""Workload generators: address populations, request traces, persistence."""
+
+from .addresses import ZipfGenerator, hotspot, sequential, uniform
+from .persistence import dump_trace, load_trace
+from .traces import Op, Request, materialize, mixed, write_population, zipf_reads
+
+__all__ = [
+    "Op",
+    "Request",
+    "ZipfGenerator",
+    "dump_trace",
+    "hotspot",
+    "load_trace",
+    "materialize",
+    "mixed",
+    "sequential",
+    "uniform",
+    "write_population",
+    "zipf_reads",
+]

@@ -1,0 +1,100 @@
+"""Ball-address generators for experiments and benches.
+
+The paper's evaluation uses synthetic block populations (consecutive
+virtual addresses); real systems see skew, so zipf and hotspot generators
+are provided for the extended benches.  All generators are deterministic
+given their parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from ..hashing.primitives import stable_u64
+
+
+def sequential(count: int, start: int = 0) -> Iterator[int]:
+    """Consecutive virtual addresses — the paper's population."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return iter(range(start, start + count))
+
+
+def uniform(count: int, universe: int, seed: int = 0) -> Iterator[int]:
+    """``count`` draws uniform over ``[0, universe)`` (with repetition)."""
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    for index in range(count):
+        yield stable_u64("uniform", seed, index) % universe
+
+
+class ZipfGenerator:
+    """Zipf-distributed addresses over ``[0, universe)``.
+
+    Rank ``r`` (0-based) is drawn with probability proportional to
+    ``1 / (r + 1)^alpha``; an inverse-CDF table makes draws O(log U).
+    """
+
+    def __init__(self, universe: int, alpha: float = 1.1, seed: int = 0) -> None:
+        if universe <= 0:
+            raise ValueError("universe must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self._universe = universe
+        self._alpha = alpha
+        self._seed = seed
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(universe):
+            total += 1.0 / math.pow(rank + 1, alpha)
+            cumulative.append(total)
+        self._cumulative = [value / total for value in cumulative]
+
+    def draw(self, index: int) -> int:
+        """The ``index``-th deterministic draw."""
+        uniform_draw = (
+            stable_u64("zipf", self._seed, index) / float(1 << 64)
+        )
+        lo, hi = 0, self._universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if uniform_draw < self._cumulative[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def stream(self, count: int) -> Iterator[int]:
+        """``count`` deterministic draws."""
+        return (self.draw(index) for index in range(count))
+
+
+def hotspot(
+    count: int,
+    universe: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    seed: int = 0,
+) -> Iterator[int]:
+    """A fraction of the address space receives most of the accesses.
+
+    Args:
+        count: Number of addresses to generate.
+        universe: Address-space size.
+        hot_fraction: Share of the universe that is "hot".
+        hot_weight: Probability an access goes to the hot region.
+        seed: Determinism seed.
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    hot_size = max(1, int(universe * hot_fraction))
+    for index in range(count):
+        coin = stable_u64("hotspot-coin", seed, index) / float(1 << 64)
+        if coin < hot_weight:
+            yield stable_u64("hotspot-hot", seed, index) % hot_size
+        else:
+            cold = universe - hot_size
+            yield hot_size + stable_u64("hotspot-cold", seed, index) % max(1, cold)

@@ -1,0 +1,61 @@
+"""Trace persistence: save and replay request traces as JSON lines.
+
+Experiments become comparable across machines and runs when the exact
+trace is an artifact.  One JSON object per line keeps files streamable and
+diff-friendly::
+
+    {"op": "write", "address": 17, "seed": 1}
+    {"op": "read", "address": 17}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from .traces import Op, Request
+
+PathLike = Union[str, Path]
+
+
+def dump_trace(trace: Iterable[Request], path: PathLike) -> int:
+    """Write a trace to ``path`` (JSON lines).
+
+    Returns:
+        Number of requests written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in trace:
+            record = {"op": request.op.value, "address": request.address}
+            if request.op is Op.WRITE:
+                record["seed"] = request.payload_seed
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> Iterator[Request]:
+    """Stream a trace back from ``path``.
+
+    Raises:
+        ValueError: on malformed lines.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                op = Op(record["op"])
+                address = int(record["address"])
+            except (json.JSONDecodeError, KeyError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line: {error}"
+                ) from None
+            if op is Op.WRITE:
+                yield Request(op, address, payload_seed=int(record.get("seed", 0)))
+            else:
+                yield Request(op, address)

@@ -1,0 +1,109 @@
+"""Tests for StorageDevice and BlockMap."""
+
+import pytest
+
+from repro.cluster import BlockMap, DeviceState, StorageDevice
+from repro.exceptions import BlockNotFoundError, CapacityExceededError
+
+
+class TestStorageDevice:
+    def test_store_and_fetch(self):
+        device = StorageDevice("d", 4)
+        device.store((1, 0), b"abc")
+        assert device.fetch((1, 0)) == b"abc"
+        assert device.used == 1
+
+    def test_capacity_enforced(self):
+        device = StorageDevice("d", 1)
+        device.store((1, 0), b"a")
+        with pytest.raises(CapacityExceededError):
+            device.store((2, 0), b"b")
+
+    def test_overwrite_does_not_grow(self):
+        device = StorageDevice("d", 1)
+        device.store((1, 0), b"a")
+        device.store((1, 0), b"b")
+        assert device.used == 1
+        assert device.fetch((1, 0)) == b"b"
+
+    def test_missing_share_raises(self):
+        device = StorageDevice("d", 2)
+        with pytest.raises(BlockNotFoundError):
+            device.fetch((9, 0))
+
+    def test_discard_idempotent(self):
+        device = StorageDevice("d", 2)
+        device.store((1, 0), b"a")
+        device.discard((1, 0))
+        device.discard((1, 0))
+        assert device.used == 0
+
+    def test_fail_loses_contents(self):
+        device = StorageDevice("d", 2)
+        device.store((1, 0), b"a")
+        device.fail()
+        assert device.state is DeviceState.FAILED
+        with pytest.raises(IOError):
+            device.fetch((1, 0))
+        with pytest.raises(IOError):
+            device.store((2, 0), b"b")
+
+    def test_replace_resets(self):
+        device = StorageDevice("d", 2)
+        device.store((1, 0), b"a")
+        device.fail()
+        device.replace()
+        assert device.is_active
+        assert device.used == 0
+
+    def test_fill_fraction(self):
+        device = StorageDevice("d", 4)
+        device.store((1, 0), b"a")
+        assert device.fill_fraction == pytest.approx(0.25)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StorageDevice("d", 0)
+
+
+class TestBlockMap:
+    def test_record_and_lookup(self):
+        block_map = BlockMap()
+        block_map.record(7, ("a", "b"))
+        assert block_map.lookup(7) == ("a", "b")
+        assert block_map.contains(7)
+        assert len(block_map) == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(BlockNotFoundError):
+            BlockMap().lookup(1)
+
+    def test_reverse_index(self):
+        block_map = BlockMap()
+        block_map.record(1, ("a", "b"))
+        block_map.record(2, ("b", "c"))
+        assert block_map.shares_on("b") == [(1, 1), (2, 0)]
+        assert block_map.share_count("b") == 2
+        assert block_map.share_count("zz") == 0
+
+    def test_rerecord_replaces(self):
+        block_map = BlockMap()
+        block_map.record(1, ("a", "b"))
+        block_map.record(1, ("c", "d"))
+        assert block_map.shares_on("a") == []
+        assert block_map.lookup(1) == ("c", "d")
+        assert len(block_map) == 1
+
+    def test_forget(self):
+        block_map = BlockMap()
+        block_map.record(1, ("a", "b"))
+        block_map.forget(1)
+        block_map.forget(1)  # idempotent
+        assert not block_map.contains(1)
+        assert block_map.shares_on("a") == []
+
+    def test_addresses_snapshot(self):
+        block_map = BlockMap()
+        block_map.record(3, ("a",))
+        block_map.record(1, ("b",))
+        assert sorted(block_map.addresses()) == [1, 3]

@@ -1,0 +1,107 @@
+"""Tests for cluster snapshot/restore."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    restore_from_json,
+    restore_snapshot,
+    snapshot_to_json,
+    take_snapshot,
+)
+from repro.core import RedundantShare
+from repro.erasure import ReedSolomonCode
+from repro.exceptions import ConfigurationError
+from repro.types import BinSpec, bins_from_capacities
+
+
+def factory(bins):
+    return RedundantShare(bins, copies=2)
+
+
+def make_cluster():
+    cluster = Cluster(bins_from_capacities([2000, 1500, 1000]), factory)
+    for address in range(120):
+        cluster.write(address, f"snap-{address}".encode())
+    return cluster
+
+
+class TestSnapshotRoundTrip:
+    def test_restores_all_data(self):
+        original = make_cluster()
+        restored = restore_snapshot(take_snapshot(original), factory)
+        assert restored.block_count == 120
+        for address in range(120):
+            assert restored.read(address) == f"snap-{address}".encode()
+        restored.verify()
+
+    def test_json_round_trip(self):
+        original = make_cluster()
+        restored = restore_from_json(snapshot_to_json(original), factory)
+        assert restored.read(7) == b"snap-7"
+
+    def test_preserves_failed_state(self):
+        original = make_cluster()
+        original.fail_device("bin-1")
+        restored = restore_snapshot(take_snapshot(original), factory)
+        assert not restored.device("bin-1").is_active
+        # Reads still work through the surviving copies.
+        for address in range(120):
+            assert restored.read(address) == f"snap-{address}".encode()
+
+    def test_restored_cluster_reconfigures_identically(self):
+        """After restore, further migrations match the original cluster."""
+        original = make_cluster()
+        restored = restore_snapshot(take_snapshot(original), factory)
+        report_a = original.add_device(BinSpec("bin-new", 1800))
+        report_b = restored.add_device(BinSpec("bin-new", 1800))
+        assert report_a.moved_shares == report_b.moved_shares
+        for address in range(120):
+            assert original.placement_of(address) == restored.placement_of(
+                address
+            )
+
+    def test_version_mismatch_rejected(self):
+        snapshot = take_snapshot(make_cluster())
+        snapshot["version"] = 999
+        with pytest.raises(ConfigurationError):
+            restore_snapshot(snapshot, factory)
+
+    def test_copies_mismatch_rejected(self):
+        snapshot = take_snapshot(make_cluster())
+        with pytest.raises(ConfigurationError):
+            restore_snapshot(
+                snapshot, lambda bins: RedundantShare(bins, copies=3)
+            )
+
+    def test_code_mismatch_rejected(self):
+        cluster = Cluster(
+            bins_from_capacities([1000] * 6),
+            lambda bins: RedundantShare(bins, copies=5),
+            code=ReedSolomonCode(3, 2),
+        )
+        cluster.write(0, b"x" * 30)
+        snapshot = take_snapshot(cluster)
+        with pytest.raises(ConfigurationError):
+            restore_snapshot(
+                snapshot,
+                lambda bins: RedundantShare(bins, copies=5),
+                code=ReedSolomonCode(4, 1),
+            )
+
+    def test_erasure_coded_snapshot(self):
+        cluster = Cluster(
+            bins_from_capacities([1000] * 6),
+            lambda bins: RedundantShare(bins, copies=5),
+            code=ReedSolomonCode(3, 2),
+        )
+        for address in range(40):
+            cluster.write(address, f"rs-{address}".encode() * 2)
+        restored = restore_snapshot(
+            take_snapshot(cluster),
+            lambda bins: RedundantShare(bins, copies=5),
+            code=ReedSolomonCode(3, 2),
+        )
+        restored.fail_device("bin-0")
+        for address in range(40):
+            assert restored.read(address) == f"rs-{address}".encode() * 2

@@ -1,0 +1,15 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+* default — CI-friendly example counts (each test sets its own).
+* thorough — run with ``--hypothesis-profile=thorough`` for a deeper
+  property sweep (e.g. before a release).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "thorough",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,108 @@
+"""Tests for the open-problem exploration: balanced top-k rendezvous."""
+
+import collections
+
+import pytest
+
+from repro.core import BalancedRendezvous
+from repro.types import BinSpec, bins_from_capacities
+
+
+class TestConstruction:
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            BalancedRendezvous(
+                bins_from_capacities([5, 4]), copies=2, calibration_rate=0.0
+            )
+
+    def test_pinning_of_saturated_bins(self):
+        # [2, 1, 1], k=2: the big bin's clipped demand is exactly 1.
+        strategy = BalancedRendezvous(bins_from_capacities([2, 1, 1]), copies=2)
+        assert strategy.pinned_bins == ["bin-0"]
+        for address in range(1000):
+            assert "bin-0" in strategy.place(address)
+
+    def test_no_pinning_for_balanced_pools(self):
+        strategy = BalancedRendezvous(bins_from_capacities([5, 5, 5]), copies=2)
+        assert strategy.pinned_bins == []
+
+    def test_all_pinned_when_n_equals_k(self):
+        strategy = BalancedRendezvous(bins_from_capacities([5, 3]), copies=2)
+        assert len(strategy.pinned_bins) == 2
+        assert strategy.place(0) == ("bin-0", "bin-1")
+
+
+class TestBehaviour:
+    def test_redundancy_and_determinism(self):
+        strategy = BalancedRendezvous(
+            bins_from_capacities([9, 7, 5, 3, 1]), copies=3
+        )
+        assert strategy.place(3) == strategy.place(3)
+        for address in range(1500):
+            assert len(set(strategy.place(address))) == 3
+
+    def test_calibrated_fairness(self):
+        capacities = [1000, 400, 300, 200, 100]
+        strategy = BalancedRendezvous(bins_from_capacities(capacities), copies=2)
+        counts = collections.Counter()
+        balls = 25_000
+        for address in range(balls):
+            counts.update(strategy.place(address))
+        for bin_id, share in strategy.expected_shares().items():
+            assert counts[bin_id] / (2 * balls) == pytest.approx(
+                share, abs=0.02
+            ), bin_id
+
+    def test_uncalibrated_is_unfair(self):
+        """Ablation: without calibration this is the trivial strategy and
+        under-loads the big bin (Lemma 2.4)."""
+        capacities = [1000, 400, 300, 200, 100]
+        raw = BalancedRendezvous(
+            bins_from_capacities(capacities), copies=2, calibration_samples=0
+        )
+        balls = 15_000
+        hits = sum(
+            1 for address in range(balls) if "bin-0" in raw.place(address)
+        )
+        # bin-0 is pinned only via t=1; here t_0 = 1.0 exactly -> pinned!
+        # Use a slightly smaller big bin so nothing is pinned.
+        capacities = [900, 400, 300, 200, 200]
+        raw = BalancedRendezvous(
+            bins_from_capacities(capacities), copies=2, calibration_samples=0
+        )
+        target = raw.expected_shares()["bin-0"]
+        counts = collections.Counter()
+        for address in range(balls):
+            counts.update(raw.place(address))
+        assert counts["bin-0"] / (2 * balls) < target - 0.015
+
+    def test_near_optimal_set_adaptivity(self):
+        """The headline property: adding a device moves (in set terms)
+        little more than the copies the device must receive."""
+        bins = bins_from_capacities([800, 700, 600, 500, 400])
+        before = BalancedRendezvous(bins, copies=2)
+        after = BalancedRendezvous(bins + [BinSpec("bin-new", 600)], copies=2)
+        moved_set = 0
+        used = 0
+        for address in range(6000):
+            old = set(before.place(address))
+            new = set(after.place(address))
+            moved_set += len(old - new)
+            used += 1 if "bin-new" in new else 0
+        factor = moved_set / used
+        assert factor < 1.6  # near the optimum of 1.0; RS sits ~1.4-2.7
+
+    def test_removal_moves_only_victims_sets(self):
+        bins = bins_from_capacities([600, 600, 600, 600, 600])
+        before = BalancedRendezvous(bins, copies=2)
+        after = BalancedRendezvous(bins[:4], copies=2)
+        moved_set = 0
+        used = 0
+        for address in range(5000):
+            old = set(before.place(address))
+            new = set(after.place(address))
+            moved_set += len(old - new)
+            used += 1 if "bin-4" in old else 0
+        # Calibration re-fitting adds some churn beyond the pure-rendezvous
+        # optimum; it must stay a small multiple.
+        assert moved_set / used < 2.0

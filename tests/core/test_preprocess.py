@@ -1,0 +1,198 @@
+"""Tests for the hazard-table solver (the mathematical core of the paper)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import clip_capacities
+from repro.core.preprocess import compute_hazards, natural_hazard
+from repro.exceptions import ConfigurationError
+
+
+def clipped(vector, k):
+    return clip_capacities(sorted(vector, reverse=True), k)
+
+
+CAPACITIES = st.lists(
+    st.integers(min_value=1, max_value=5000), min_size=2, max_size=14
+).map(lambda values: sorted(values, reverse=True))
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            compute_hazards([1.0, 2.0], 2)
+
+    def test_rejects_too_few_bins(self):
+        with pytest.raises(ConfigurationError):
+            compute_hazards([5.0], 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            compute_hazards([2.0, 0.0], 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            compute_hazards([2.0, 1.0], 0)
+
+    def test_rejects_unclipped_oversized_bin(self):
+        with pytest.raises(ConfigurationError):
+            compute_hazards([100.0, 1.0, 1.0], 2)
+
+
+class TestKnownInstances:
+    def test_paper_boundary_example(self):
+        # [4, 4, 3], k=2: the boundary sits at rank 1; the exact secondary
+        # hazard there is 5/8 (the paper's b̃ = 5 boost over natural 4).
+        table = compute_hazards([4.0, 4.0, 3.0], 2)
+        assert table.hazards[0][0] == pytest.approx(8 / 11)
+        assert table.hazards[0][1] == pytest.approx(1.0)
+        assert table.hazards[1][1] == pytest.approx(5 / 8)
+        assert table.hazards[1][2] == pytest.approx(1.0)
+
+    def test_marginal_sums_match_targets(self):
+        table = compute_hazards([5.0, 4.0, 4.0, 2.0], 2)
+        for i in range(4):
+            total = sum(table.marginals[c][i] for c in range(2))
+            assert total == pytest.approx(table.targets[i])
+
+    def test_figure1_capacities(self):
+        # [2, 1, 1], k=2: the big bin must be hit by EVERY ball (č_0 = 1) —
+        # the property the trivial strategy misses.
+        table = compute_hazards([2.0, 1.0, 1.0], 2)
+        assert table.hazards[0][0] == pytest.approx(1.0)
+        assert table.marginals[0][0] == pytest.approx(1.0)
+        assert table.marginals[1][1] == pytest.approx(0.5)
+        assert table.marginals[1][2] == pytest.approx(0.5)
+
+    def test_n_equals_k_all_deterministic(self):
+        table = compute_hazards([3.0, 3.0, 3.0], 3)
+        for c in range(3):
+            assert table.marginals[c][c] == pytest.approx(1.0)
+
+    def test_k1_is_proportional(self):
+        table = compute_hazards([6.0, 3.0, 1.0], 1)
+        assert table.marginals[0] == pytest.approx([0.6, 0.3, 0.1])
+
+
+class TestNaturalHazard:
+    def test_matches_paper_formula(self):
+        assert natural_hazard(2, 4.0, 11.0) == pytest.approx(8 / 11)
+
+    def test_caps_at_one(self):
+        assert natural_hazard(3, 5.0, 6.0) == 1.0
+
+
+class TestInvariants:
+    @given(CAPACITIES, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=300, deadline=None)
+    def test_fairness_and_conservation(self, capacities, k):
+        """For any clipped vector: marginals hit targets, copies place w.p. 1,
+        hazards stay in [0, 1]."""
+        if len(capacities) < k:
+            return
+        table = compute_hazards(clipped(capacities, k), k)
+        n = table.bin_count
+        for i in range(n):
+            total = sum(table.marginals[c][i] for c in range(k))
+            assert total == pytest.approx(table.targets[i], abs=1e-7)
+        for c in range(k):
+            assert sum(table.marginals[c]) == pytest.approx(1.0, abs=1e-7)
+            for i in range(n):
+                assert -1e-12 <= table.hazards[c][i] <= 1.0 + 1e-12
+
+    @given(CAPACITIES, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=150, deadline=None)
+    def test_termination_deadlines(self, capacities, k):
+        """Copy c is always placed early enough for the remaining copies."""
+        if len(capacities) < k:
+            return
+        table = compute_hazards(clipped(capacities, k), k)
+        n = table.bin_count
+        for c in range(k):
+            deadline = n - k + c
+            placed_by_deadline = sum(table.marginals[c][: deadline + 1])
+            assert placed_by_deadline == pytest.approx(1.0, abs=1e-7)
+
+    @given(CAPACITIES)
+    @settings(max_examples=150, deadline=None)
+    def test_primary_hazards_match_the_papers_formula(self, capacities):
+        """Level-1 hazards are exactly min(1, k*b_i/B_i) wherever reachable
+        and un-corrected — i.e. up to the first saturation."""
+        k = 2
+        if len(capacities) < k:
+            return
+        vector = clipped(capacities, k)
+        table = compute_hazards(vector, k)
+        suffix = sum(vector)
+        for i, capacity in enumerate(vector):
+            natural = min(1.0, k * capacity / suffix)
+            assert table.hazards[0][i] == pytest.approx(natural, abs=1e-9)
+            if natural >= 1.0:
+                break
+            suffix -= capacity
+
+
+class TestConditionalDistribution:
+    def test_rows_are_distributions(self):
+        table = compute_hazards([5.0, 4.0, 3.0, 2.0, 1.0], 3)
+        for previous in range(-1, 2):
+            row = table.conditional_distribution(1 if previous < 0 else 2, previous)
+            assert sum(row) == pytest.approx(1.0, abs=1e-9)
+            assert all(value >= 0 for value in row)
+
+    def test_support_is_after_previous(self):
+        table = compute_hazards([5.0, 4.0, 3.0, 2.0], 2)
+        row = table.conditional_distribution(2, 1)
+        assert row[0] == 0.0
+        assert row[1] == 0.0
+
+    def test_out_of_range_raises(self):
+        table = compute_hazards([1.0, 1.0], 2)
+        with pytest.raises(IndexError):
+            table.conditional_distribution(3, 0)
+        with pytest.raises(IndexError):
+            table.conditional_distribution(1, 5)
+
+    def test_chain_reproduces_marginals(self):
+        """Sum over previous ranks of P(prev) * P(next | prev) = marginal."""
+        table = compute_hazards([6.0, 5.0, 4.0, 3.0, 2.0], 2)
+        n = table.bin_count
+        reconstructed = [0.0] * n
+        for previous in range(n):
+            weight = table.marginals[0][previous]
+            if weight == 0.0:
+                continue
+            row = table.conditional_distribution(2, previous)
+            for i in range(n):
+                reconstructed[i] += weight * row[i]
+        for i in range(n):
+            assert reconstructed[i] == pytest.approx(table.marginals[1][i], abs=1e-9)
+
+
+class TestChainReconstructionAllK:
+    @given(CAPACITIES, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_chain_reproduces_marginals_any_k(self, capacities, k):
+        """Propagating conditional chains from copy 1 reproduces every
+        deeper copy's marginal — the identity the O(k) variant relies on."""
+        if len(capacities) < k:
+            return
+        table = compute_hazards(clipped(capacities, k), k)
+        n = table.bin_count
+        previous = list(table.marginals[0])
+        for copy in range(2, k + 1):
+            reconstructed = [0.0] * n
+            for prev_rank in range(n):
+                weight = previous[prev_rank]
+                if weight <= 0.0:
+                    continue
+                row = table.conditional_distribution(copy, prev_rank)
+                for rank in range(n):
+                    if row[rank]:
+                        reconstructed[rank] += weight * row[rank]
+            for rank in range(n):
+                assert reconstructed[rank] == pytest.approx(
+                    table.marginals[copy - 1][rank], abs=1e-7
+                )
+            previous = reconstructed

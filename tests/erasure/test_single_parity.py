@@ -1,0 +1,66 @@
+"""Tests for the RAID-4/5 single-parity code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import SingleParityCode
+from repro.erasure.base import pad_block
+from repro.exceptions import DecodingError
+
+
+class TestSingleParity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleParityCode(0)
+
+    def test_shape(self):
+        code = SingleParityCode(4)
+        assert code.total_shares == 5
+        assert code.data_shares == 4
+        assert code.tolerance == 1
+        assert code.storage_overhead == pytest.approx(1.25)
+
+    def test_round_trip_all_single_erasures(self):
+        code = SingleParityCode(4)
+        payload = bytes(range(200))
+        expected = pad_block(payload, 4)
+        shares = dict(enumerate(code.encode(payload)))
+        assert code.decode(shares) == expected
+        for lost in range(code.total_shares):
+            survivors = {k: v for k, v in shares.items() if k != lost}
+            assert code.decode(survivors) == expected, f"lost {lost}"
+
+    def test_double_erasure_fails(self):
+        code = SingleParityCode(4)
+        shares = dict(enumerate(code.encode(b"x" * 40)))
+        survivors = {k: v for k, v in shares.items() if k not in (0, 2)}
+        with pytest.raises(DecodingError):
+            code.decode(survivors)
+
+    def test_mismatched_lengths_rejected(self):
+        code = SingleParityCode(2)
+        shares = dict(enumerate(code.encode(b"abcdef")))
+        shares[0] = shares[0] + b"!"
+        with pytest.raises(DecodingError):
+            code.decode(shares)
+
+    def test_parity_is_xor_of_data(self):
+        code = SingleParityCode(3)
+        shares = code.encode(bytes(range(30)))
+        parity = bytearray(len(shares[0]))
+        for share in shares[:3]:
+            for index, value in enumerate(share):
+                parity[index] ^= value
+        assert bytes(parity) == shares[3]
+
+    @given(st.binary(min_size=1, max_size=100), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, payload, data):
+        code = SingleParityCode(data)
+        shares = dict(enumerate(code.encode(payload)))
+        lost = len(shares) - 1
+        survivors = {k: v for k, v in shares.items() if k != lost}
+        assert code.decode(survivors)[: len(payload)] == payload

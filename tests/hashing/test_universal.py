@@ -1,0 +1,90 @@
+"""Statistical tests for the universal hash families."""
+
+import collections
+
+import pytest
+
+from repro.hashing.universal import (
+    CarterWegmanHash,
+    TabulationHash,
+    collision_probability_bound,
+)
+
+
+class TestTabulation:
+    def test_deterministic_per_seed(self):
+        first = TabulationHash(seed=7)
+        second = TabulationHash(seed=7)
+        assert [first(i) for i in range(100)] == [second(i) for i in range(100)]
+
+    def test_seeds_decorrelate(self):
+        a = TabulationHash(seed=1)
+        b = TabulationHash(seed=2)
+        assert sum(1 for i in range(200) if a(i) == b(i)) < 3
+
+    def test_range(self):
+        hash_fn = TabulationHash(seed=3)
+        for i in range(200):
+            assert 0 <= hash_fn(i) < 2**64
+
+    def test_unit_range(self):
+        hash_fn = TabulationHash(seed=4)
+        values = [hash_fn.unit(i) for i in range(5000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert abs(sum(values) / len(values) - 0.5) < 0.02
+
+    def test_uniformity_chi_square(self):
+        hash_fn = TabulationHash(seed=5)
+        cells = [0] * 16
+        n = 20_000
+        for i in range(n):
+            cells[hash_fn(i) & 0xF] += 1
+        expected = n / 16
+        chi2 = sum((count - expected) ** 2 / expected for count in cells)
+        assert chi2 < 37.7  # 0.999 quantile, 15 dof
+
+    def test_avalanche(self):
+        hash_fn = TabulationHash(seed=6)
+        flips = bin(hash_fn(1024) ^ hash_fn(1025)).count("1")
+        assert flips > 12
+
+
+class TestCarterWegman:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarterWegmanHash(0)
+
+    def test_range(self):
+        hash_fn = CarterWegmanHash(97, seed=1)
+        for i in range(500):
+            assert 0 <= hash_fn(i) < 97
+
+    def test_deterministic(self):
+        assert CarterWegmanHash(50, seed=2)(123) == CarterWegmanHash(50, seed=2)(123)
+
+    def test_collision_rate_within_universal_bound(self):
+        """Empirical pair-collision rate across family members stays near
+        the 1/m universality guarantee."""
+        buckets = 64
+        bound = collision_probability_bound(buckets)
+        pairs = [(i, i + 1000) for i in range(200)]
+        collisions = 0
+        trials = 0
+        for seed in range(60):
+            hash_fn = CarterWegmanHash(buckets, seed=seed)
+            for x, y in pairs:
+                trials += 1
+                if hash_fn(x) == hash_fn(y):
+                    collisions += 1
+        rate = collisions / trials
+        assert rate < 2.5 * bound
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            collision_probability_bound(0)
+
+    def test_roughly_uniform(self):
+        hash_fn = CarterWegmanHash(10, seed=9)
+        counts = collections.Counter(hash_fn(i) for i in range(20_000))
+        for bucket in range(10):
+            assert counts[bucket] / 20_000 == pytest.approx(0.1, abs=0.03)

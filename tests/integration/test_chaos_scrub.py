@@ -1,0 +1,79 @@
+"""Chaos property test: random bit rot within tolerance is always healed.
+
+Hypothesis picks arbitrary corruption patterns — any set of shares, as long
+as no single block loses more shares than its code tolerates — and the
+scrubber must detect every one and repair them all, after which every block
+reads back byte-identical.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ChecksumIndex, Cluster, Scrubber, corrupt_share
+from repro.core import RedundantShare
+from repro.erasure import ReedSolomonCode
+from repro.types import bins_from_capacities
+
+BLOCKS = 40
+
+
+def build(code=None, copies=2):
+    cluster = Cluster(
+        bins_from_capacities([1200] * max(4, copies + 1)),
+        lambda bins: RedundantShare(bins, copies=copies),
+        code=code,
+    )
+    for address in range(BLOCKS):
+        cluster.write(address, f"chaos-{address}".encode() * 3)
+    index = ChecksumIndex()
+    index.capture(cluster)
+    return cluster, index
+
+
+@given(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=BLOCKS - 1),
+        values=st.integers(min_value=0, max_value=1),  # one share per block
+        max_size=12,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_mirror_chaos_always_healed(corruptions):
+    cluster, index = build()
+    for address, position in corruptions.items():
+        device_id = cluster.placement_of(address)[position]
+        corrupt_share(cluster, device_id, (address, position))
+    report = Scrubber(cluster, index).scrub()
+    assert report.corrupt == len(corruptions)
+    assert report.repaired == len(corruptions)
+    assert report.unrepairable == 0
+    for address in range(BLOCKS):
+        assert cluster.read(address) == f"chaos-{address}".encode() * 3
+    assert Scrubber(cluster, index).scrub().corrupt == 0
+
+
+@given(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=BLOCKS - 1),
+        values=st.sets(
+            st.integers(min_value=0, max_value=4), min_size=1, max_size=2
+        ),
+        max_size=8,
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_rs_chaos_up_to_two_shares_per_block(corruptions):
+    """RS(3+2): any <= 2 corrupted shares per block heal completely."""
+    cluster, index = build(code=ReedSolomonCode(3, 2), copies=5)
+    total = 0
+    for address, positions in corruptions.items():
+        for position in positions:
+            device_id = cluster.placement_of(address)[position]
+            corrupt_share(cluster, device_id, (address, position))
+            total += 1
+    report = Scrubber(cluster, index).scrub()
+    assert report.corrupt == total
+    assert report.repaired == total
+    for address in range(BLOCKS):
+        assert cluster.read(address) == f"chaos-{address}".encode() * 3

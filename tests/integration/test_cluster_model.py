@@ -1,0 +1,128 @@
+"""Stateful model testing: the cluster against a plain-dict oracle.
+
+Hypothesis drives random operation sequences — writes, overwrites,
+deletes, device adds/removes, failures and repairs — against a mirrored
+cluster and a trivial in-memory model.  After every step the cluster must
+agree with the model on readable content, and its structural invariants
+must hold.  This is the kind of interleaving coverage unit tests miss.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import settings
+
+from repro.cluster import Cluster
+from repro.core import RedundantShare
+from repro.exceptions import BlockNotFoundError
+from repro.types import BinSpec, bins_from_capacities
+
+ADDRESSES = st.integers(min_value=0, max_value=39)
+PAYLOADS = st.binary(min_size=1, max_size=24)
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    """Random walks over the cluster's public API."""
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(
+            bins_from_capacities([800, 700, 600, 500]),
+            lambda bins: RedundantShare(bins, copies=2),
+        )
+        self.model = {}
+        self.device_serial = 0
+        self.failed = set()
+
+    # ------------------------------------------------------------------
+    # Data-path rules
+    # ------------------------------------------------------------------
+
+    @rule(address=ADDRESSES, payload=PAYLOADS)
+    def write(self, address, payload):
+        self.cluster.write(address, payload)
+        self.model[address] = payload
+
+    @rule(address=ADDRESSES)
+    def delete(self, address):
+        if address in self.model:
+            self.cluster.delete(address)
+            del self.model[address]
+        else:
+            try:
+                self.cluster.delete(address)
+                raise AssertionError("delete of unknown block must fail")
+            except BlockNotFoundError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Reconfiguration rules
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: len(self.cluster.device_ids()) < 8)
+    @rule()
+    def add_device(self):
+        self.device_serial += 1
+        self.cluster.add_device(
+            BinSpec(f"grown-{self.device_serial}", 900)
+        )
+
+    @precondition(
+        lambda self: len(self.cluster.device_ids()) - len(self.failed) > 3
+    )
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def remove_device(self, pick):
+        # Only remove active devices (draining a failed device would need
+        # rebuild-on-remove, which the API models as repair-then-remove).
+        candidates = [
+            device_id
+            for device_id in self.cluster.device_ids()
+            if device_id not in self.failed
+        ]
+        victim = candidates[pick % len(candidates)]
+        self.cluster.remove_device(victim)
+
+    @precondition(lambda self: not self.failed)
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def fail_one_device(self, pick):
+        # Keep at most one concurrent failure: k=2 tolerates exactly one.
+        candidates = self.cluster.device_ids()
+        victim = candidates[pick % len(candidates)]
+        self.cluster.fail_device(victim)
+        self.failed.add(victim)
+
+    @precondition(lambda self: bool(self.failed))
+    @rule()
+    def repair_failed_device(self):
+        victim = sorted(self.failed)[0]
+        self.cluster.repair_device(victim)
+        self.failed.discard(victim)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def every_model_block_reads_back(self):
+        for address, payload in self.model.items():
+            assert self.cluster.read(address) == payload
+
+    @invariant()
+    def block_counts_agree(self):
+        assert self.cluster.block_count == len(self.model)
+
+    @invariant()
+    def redundancy_and_map_consistency(self):
+        # verify() only checks share presence on *active* devices, so it
+        # holds even while one device is failed.
+        self.cluster.verify()
+
+
+ClusterMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestClusterModel = ClusterMachine.TestCase

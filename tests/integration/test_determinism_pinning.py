@@ -1,0 +1,70 @@
+"""Golden-value pinning: placements must never change across releases.
+
+For a storage system the placement function *is* the on-disk layout: any
+change to the hash primitives, the hazard solver or the draw keying would
+silently relocate every deployed block.  These tests pin concrete outputs;
+if one fails, either restore compatibility or document a breaking layout
+change loudly.
+"""
+
+from repro.core import FastRedundantShare, LinMirror, RedundantShare
+from repro.hashing.primitives import stable_u64, unit_interval
+from repro.placement import CrushStrategy, TrivialReplication
+from repro.types import bins_from_capacities
+
+BINS = bins_from_capacities([1200, 800, 500, 300])
+
+
+class TestHashPinning:
+    def test_stable_u64_values(self):
+        assert stable_u64("anchor", 7) == 13539186861692216844
+        assert stable_u64(42) == 16619484360765051494
+
+    def test_unit_interval_value(self):
+        assert abs(unit_interval("x", 1) - 0.6308114636396446) < 1e-15
+
+
+class TestPlacementPinning:
+    def test_redundant_share_k2(self):
+        strategy = RedundantShare(BINS, copies=2)
+        assert [strategy.place(a) for a in range(6)] == [
+            ("bin-0", "bin-2"),
+            ("bin-1", "bin-3"),
+            ("bin-1", "bin-3"),
+            ("bin-1", "bin-3"),
+            ("bin-0", "bin-1"),
+            ("bin-0", "bin-2"),
+        ]
+
+    def test_linmirror_equals_redundant_share(self):
+        mirror = LinMirror(BINS, namespace="redundant-share")
+        strategy = RedundantShare(BINS, copies=2)
+        assert [mirror.place(a) for a in range(20)] == [
+            strategy.place(a) for a in range(20)
+        ]
+
+    def test_fast_variant_k3(self):
+        strategy = FastRedundantShare(BINS, copies=3)
+        # Capacities clip to [800, 800, 500, 300] (k*b_0 > B), so copies 1
+        # and 2 are deterministic and only the third copy is random.
+        placements = [strategy.place(a) for a in range(6)]
+        assert all(p[:2] == ("bin-0", "bin-1") for p in placements)
+        assert [p[2] for p in placements] == ["bin-2"] * 5 + ["bin-3"]
+
+    def test_trivial(self):
+        strategy = TrivialReplication(BINS, copies=2)
+        assert [strategy.place(a) for a in range(4)] == [
+            ("bin-0", "bin-2"),
+            ("bin-0", "bin-1"),
+            ("bin-2", "bin-0"),
+            ("bin-1", "bin-3"),
+        ]
+
+    def test_crush(self):
+        strategy = CrushStrategy(BINS, copies=2)
+        assert [strategy.place(a) for a in range(4)] == [
+            ("bin-0", "bin-2"),
+            ("bin-0", "bin-1"),
+            ("bin-2", "bin-1"),
+            ("bin-0", "bin-2"),
+        ]

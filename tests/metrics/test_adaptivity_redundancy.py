@@ -1,0 +1,108 @@
+"""Tests for the adaptivity and redundancy metrics."""
+
+import pytest
+
+from repro.core import RedundantShare
+from repro.metrics import (
+    compare_strategies,
+    count_violations,
+    data_loss_fraction,
+    movement_series,
+    optimal_moved_copies,
+    survivable_failure_count,
+    worst_failure_pairs,
+)
+from repro.types import BinSpec, bins_from_capacities
+
+
+def make(capacities, copies=2):
+    return RedundantShare(bins_from_capacities(capacities), copies=copies)
+
+
+class TestCompareStrategies:
+    def test_identical_strategies_move_nothing(self):
+        before = make([5, 4, 3])
+        after = make([5, 4, 3])
+        report = compare_strategies(before, after, range(500), [])
+        assert report.moved_positional == 0
+        assert report.moved_set == 0
+
+    def test_mismatched_copies_rejected(self):
+        with pytest.raises(ValueError):
+            compare_strategies(
+                make([5, 4, 3], 2), make([5, 4, 3], 1), range(10), []
+            )
+
+    def test_addition_counts_usage_in_after(self):
+        bins = bins_from_capacities([1000] * 4)
+        before = RedundantShare(bins, copies=2)
+        after = RedundantShare(bins + [BinSpec("bin-new", 1000)], copies=2)
+        report = compare_strategies(before, after, range(2000), ["bin-new"])
+        # New bin deserves 1/5 of all copies.
+        assert report.used_on_affected / (2000 * 2) == pytest.approx(0.2, abs=0.03)
+        assert report.moved_positional >= report.used_on_affected
+        assert report.moved_set <= report.moved_positional
+
+    def test_removal_counts_usage_in_before(self):
+        bins = bins_from_capacities([1000] * 4)
+        before = RedundantShare(bins, copies=2)
+        after = RedundantShare(bins[:3], copies=2)
+        report = compare_strategies(before, after, range(2000), ["bin-3"])
+        assert report.used_on_affected > 0
+        assert report.factor_positional >= 1.0
+
+    def test_factor_zero_when_unaffected(self):
+        before = make([5, 4, 3])
+        report = compare_strategies(before, before, range(100), ["ghost"])
+        assert report.factor_positional == 0.0
+        assert report.factor_set == 0.0
+
+    def test_optimal_bound(self):
+        before = make([5, 4, 3])
+        after = make([5, 4, 3])
+        report = compare_strategies(before, after, range(100), [])
+        assert optimal_moved_copies(report) == report.used_on_affected
+
+
+class TestMovementSeries:
+    def test_series_length(self):
+        snapshots = [make([5, 4, 3]), make([5, 4, 3]), make([5, 4, 3])]
+        reports = movement_series(snapshots, list(range(50)), [[], []])
+        assert len(reports) == 2
+
+    def test_affected_mismatch_rejected(self):
+        snapshots = [make([5, 4, 3]), make([5, 4, 3])]
+        with pytest.raises(ValueError):
+            movement_series(snapshots, list(range(10)), [[], []])
+
+
+class TestRedundancyMetrics:
+    def test_no_violations_for_redundant_share(self):
+        strategy = make([9, 7, 5, 3], copies=3)
+        assert count_violations(strategy, range(1000)) == 0
+
+    def test_loss_fraction_zero_below_tolerance(self):
+        strategy = make([5, 4, 3, 2], copies=2)
+        loss = data_loss_fraction(strategy, list(range(1000)), {"bin-0"})
+        assert loss == 0.0
+
+    def test_loss_fraction_positive_when_pair_fails(self):
+        strategy = make([5, 4, 3, 2], copies=2)
+        loss = data_loss_fraction(
+            strategy, list(range(1000)), {"bin-0", "bin-1"}
+        )
+        assert 0.0 < loss < 1.0
+
+    def test_loss_requires_addresses(self):
+        with pytest.raises(ValueError):
+            data_loss_fraction(make([5, 4, 3]), [], {"bin-0"})
+
+    def test_worst_pairs_ordered(self):
+        strategy = make([5, 4, 3, 2], copies=2)
+        pairs = worst_failure_pairs(strategy, list(range(2000)), limit=3)
+        assert len(pairs) == 3
+        fractions = [fraction for _, fraction in pairs]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_survivable_failures(self):
+        assert survivable_failure_count(make([5, 4, 3], copies=3)) == 2

@@ -1,0 +1,118 @@
+"""Tests for the CRUSH baseline (buckets + firstn selection)."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.placement import (
+    CrushStrategy,
+    ListBucket,
+    Straw2Bucket,
+    UniformBucket,
+    make_bucket,
+    two_level_map,
+)
+from repro.types import BinSpec, bins_from_capacities
+
+
+class TestBucketValidation:
+    def test_empty_bucket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Straw2Bucket("b", [], [])
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Straw2Bucket("b", ["a"], [1.0, 2.0])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ListBucket("b", ["a", "b"], [1.0, 0.0])
+
+    def test_uniform_requires_equal_weights(self):
+        with pytest.raises(ConfigurationError):
+            UniformBucket("b", ["a", "b"], [1.0, 2.0])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bucket("pyramid", "b", ["a"], [1.0])
+
+
+@pytest.mark.parametrize("kind", ["uniform", "list", "straw2", "tree"])
+class TestBucketSelection:
+    def test_deterministic(self, kind):
+        weights = [1.0, 1.0, 1.0] if kind == "uniform" else [3.0, 2.0, 1.0]
+        bucket = make_bucket(kind, "b", ["x", "y", "z"], weights)
+        assert bucket.choose(5, 0, 0) == bucket.choose(5, 0, 0)
+
+    def test_attempts_decorrelate(self, kind):
+        weights = [1.0] * 4
+        bucket = make_bucket(kind, "b", ["a", "b", "c", "d"], weights)
+        outcomes = {bucket.choose(5, 0, attempt) for attempt in range(32)}
+        assert len(outcomes) > 1
+
+
+class TestWeightedBucketsAreFair:
+    BALLS = 30_000
+
+    @pytest.mark.parametrize("kind", ["list", "straw2", "tree"])
+    def test_shares_track_weights(self, kind):
+        bucket = make_bucket(kind, "b", ["x", "y", "z"], [1.0, 3.0, 6.0])
+        counts = collections.Counter(
+            bucket.choose(address, 0, 0) for address in range(self.BALLS)
+        )
+        assert counts["z"] / self.BALLS == pytest.approx(0.6, abs=0.012)
+        assert counts["y"] / self.BALLS == pytest.approx(0.3, abs=0.012)
+        assert counts["x"] / self.BALLS == pytest.approx(0.1, abs=0.012)
+
+
+class TestCrushStrategy:
+    def test_redundancy(self):
+        strategy = CrushStrategy(bins_from_capacities([5, 4, 3, 2]), copies=3)
+        for address in range(2000):
+            placement = strategy.place(address)
+            assert len(set(placement)) == 3
+
+    def test_deterministic(self):
+        strategy = CrushStrategy(bins_from_capacities([5, 4, 3]), copies=2)
+        assert strategy.place(9) == strategy.place(9)
+
+    def test_straw2_adaptivity(self):
+        """Adding a device only pulls data onto it (straw property)."""
+        before = CrushStrategy(bins_from_capacities([10, 10, 10]), copies=1)
+        after = CrushStrategy(bins_from_capacities([10, 10, 10, 10]), copies=1)
+        for address in range(3000):
+            old = before.place(address)[0]
+            new = after.place(address)[0]
+            if old != new:
+                assert new == "bin-3"
+
+    def test_collision_retry_fairness_cost(self):
+        """On a tiny skewed pool CRUSH's retry loop distorts shares —
+        the gap to Redundant Share the baseline bench reports."""
+        capacities = [4, 1, 1]
+        strategy = CrushStrategy(bins_from_capacities(capacities), copies=2)
+        counts = collections.Counter()
+        balls = 20_000
+        for address in range(balls):
+            for device in strategy.place(address):
+                counts[device] += 1
+        big_share = counts["bin-0"] / (2 * balls)
+        # Fair would be min(1, k*c_0)/k = 0.5; retries push it below.
+        assert big_share < 0.5
+
+    def test_hierarchy_map(self):
+        racks = {
+            "r1": bins_from_capacities([4, 4], prefix="r1"),
+            "r2": bins_from_capacities([4, 4], prefix="r2"),
+        }
+        root, bins = two_level_map(racks)
+        strategy = CrushStrategy(bins, copies=2, root=root)
+        for address in range(500):
+            placement = strategy.place(address)
+            assert len(set(placement)) == 2
+
+    def test_map_leaf_mismatch_rejected(self):
+        root = Straw2Bucket("root", ["other-1", "other-2"], [1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            CrushStrategy(bins_from_capacities([5, 4]), copies=2, root=root)

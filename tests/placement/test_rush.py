@@ -1,0 +1,140 @@
+"""Tests for the RUSH_P-style baseline."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.placement import RushStrategy, SubCluster, rush_from_capacities
+
+
+class TestSubCluster:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubCluster("c", 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            SubCluster("c", 2, 0.0)
+
+    def test_weight_and_ids(self):
+        cluster = SubCluster("c", 3, 2.0)
+        assert cluster.weight == 6.0
+        assert cluster.disk_id(1) == "c/disk-1"
+
+
+class TestChunkRestriction:
+    def test_rejects_chunk_smaller_than_k(self):
+        """The RUSH restriction the paper criticises: chunks must hold a
+        complete redundancy group."""
+        clusters = [SubCluster("base", 4, 1.0), SubCluster("tiny", 1, 1.0)]
+        with pytest.raises(ConfigurationError):
+            RushStrategy(clusters, copies=2)
+
+    def test_rejects_small_base(self):
+        with pytest.raises(ConfigurationError):
+            RushStrategy([SubCluster("base", 1, 1.0)], copies=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RushStrategy([], copies=2)
+
+
+class TestPlacement:
+    def make(self, copies=2):
+        clusters = [
+            SubCluster("gen0", 4, 1.0),
+            SubCluster("gen1", 4, 2.0),
+        ]
+        return RushStrategy(clusters, copies=copies)
+
+    def test_redundancy(self):
+        strategy = self.make(copies=3)
+        for address in range(2000):
+            placement = strategy.place(address)
+            assert len(placement) == 3
+            assert len(set(placement)) == 3
+
+    def test_deterministic(self):
+        strategy = self.make()
+        assert strategy.place(77) == strategy.place(77)
+
+    def test_rough_weight_proportionality(self):
+        strategy = self.make()
+        counts = collections.Counter()
+        balls = 20_000
+        for address in range(balls):
+            for disk in strategy.place(address):
+                counts[disk] += 1
+        gen1 = sum(count for disk, count in counts.items() if disk.startswith("gen1"))
+        share = gen1 / (2 * balls)
+        # gen1 carries 2/3 of the weight; RUSH approximates that.
+        assert share == pytest.approx(2 / 3, abs=0.08)
+
+    def test_adaptivity_adding_chunk(self):
+        """Adding a half-weight chunk moves ~one copy per ball (the optimum
+        — the chunk deserves k/2 copies of every ball) and keeps the
+        surviving copy on its old disk."""
+        base = [SubCluster("gen0", 6, 1.0)]
+        before = RushStrategy(base, copies=2)
+        after = RushStrategy(base + [SubCluster("gen1", 6, 1.0)], copies=2)
+        balls = 4000
+        moved_copies = 0
+        orphaned = 0
+        for address in range(balls):
+            old = set(before.place(address))
+            new = set(after.place(address))
+            moved_copies += len(old - new)
+            if not old & new:
+                orphaned += 1
+        assert moved_copies / balls == pytest.approx(1.0, abs=0.2)
+        assert orphaned / balls < 0.1
+
+
+class TestFromCapacities:
+    def test_groups_runs(self):
+        strategy = rush_from_capacities([4, 4, 4, 8, 8, 8], copies=2)
+        assert len(strategy.clusters) == 2
+        assert strategy.clusters[0].disks == 3
+
+    def test_fixed_chunks(self):
+        strategy = rush_from_capacities([4] * 6, copies=2, chunk=3)
+        assert len(strategy.clusters) == 2
+        assert all(cluster.disks == 3 for cluster in strategy.clusters)
+
+
+class TestRushTree:
+    def test_redundancy_and_determinism(self):
+        from repro.placement import rush_tree
+
+        clusters = [
+            SubCluster("gen0", 4, 1.0),
+            SubCluster("gen1", 4, 2.0),
+            SubCluster("gen2", 4, 2.0),
+        ]
+        strategy = rush_tree(clusters, copies=3)
+        assert strategy.place(5) == strategy.place(5)
+        for address in range(1000):
+            placement = strategy.place(address)
+            assert len(set(placement)) == 3
+
+    def test_chunk_restriction_enforced(self):
+        from repro.placement import rush_tree
+
+        with pytest.raises(ConfigurationError):
+            rush_tree([SubCluster("gen0", 4, 1.0), SubCluster("t", 1, 1.0)], 2)
+        with pytest.raises(ConfigurationError):
+            rush_tree([], copies=2)
+
+    def test_weight_proportionality(self):
+        import collections
+
+        from repro.placement import rush_tree
+
+        clusters = [SubCluster("a", 4, 1.0), SubCluster("b", 4, 3.0)]
+        strategy = rush_tree(clusters, copies=2)
+        counts = collections.Counter()
+        balls = 15_000
+        for address in range(balls):
+            for disk in strategy.place(address):
+                counts[disk] += 1
+        heavy = sum(v for k, v in counts.items() if k.startswith("b/"))
+        assert heavy / (2 * balls) == pytest.approx(0.75, abs=0.06)

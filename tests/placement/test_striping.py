@@ -1,0 +1,84 @@
+"""Tests for RAID pattern striping (plain and weighted)."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.placement import StripingStrategy, WeightedStripingStrategy
+from repro.types import bins_from_capacities
+
+
+class TestStriping:
+    def test_redundancy(self):
+        strategy = StripingStrategy(bins_from_capacities([5] * 5), copies=3)
+        for address in range(500):
+            assert len(set(strategy.place(address))) == 3
+
+    def test_homogeneous_perfectly_balanced(self):
+        strategy = StripingStrategy(bins_from_capacities([5] * 4), copies=2)
+        counts = collections.Counter()
+        balls = 4000  # multiple of the pattern period
+        for address in range(balls):
+            for bin_id in strategy.place(address):
+                counts[bin_id] += 1
+        shares = {bin_id: count / (2 * balls) for bin_id, count in counts.items()}
+        for share in shares.values():
+            assert share == pytest.approx(0.25, abs=1e-9)
+
+    def test_ignores_capacities(self):
+        strategy = StripingStrategy(bins_from_capacities([100, 1, 1, 1]), copies=2)
+        shares = strategy.expected_shares()
+        assert all(share == pytest.approx(0.25) for share in shares.values())
+
+    def test_full_reshuffle_on_growth(self):
+        """The paper's adaptivity criticism: adding a disk moves ~everything."""
+        before = StripingStrategy(bins_from_capacities([5] * 6), copies=2)
+        after = StripingStrategy(bins_from_capacities([5] * 7), copies=2)
+        balls = 2000
+        moved = sum(
+            1 for address in range(balls) if before.place(address) != after.place(address)
+        )
+        assert moved / balls > 0.8
+
+
+class TestWeightedStriping:
+    def test_redundancy(self):
+        strategy = WeightedStripingStrategy(
+            bins_from_capacities([8, 4, 2, 2]), copies=2
+        )
+        for address in range(1000):
+            placement = strategy.place(address)
+            assert len(set(placement)) == 2
+
+    def test_shares_track_capacity(self):
+        strategy = WeightedStripingStrategy(
+            bins_from_capacities([8, 4, 2, 2]), copies=2, resolution=128
+        )
+        shares = strategy.expected_shares()
+        assert shares["bin-0"] == pytest.approx(0.5, abs=0.02)
+        assert shares["bin-1"] == pytest.approx(0.25, abs=0.02)
+
+    def test_empirical_matches_pattern_shares(self):
+        strategy = WeightedStripingStrategy(
+            bins_from_capacities([6, 3, 3]), copies=2, resolution=64
+        )
+        counts = collections.Counter()
+        balls = 20_000
+        for address in range(balls):
+            for bin_id in strategy.place(address):
+                counts[bin_id] += 1
+        # With k=2 the big disk deserves min(1, 2*0.5)/2 = 0.5 of copies.
+        assert counts["bin-0"] / (2 * balls) == pytest.approx(0.5, abs=0.05)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ConfigurationError):
+            WeightedStripingStrategy(
+                bins_from_capacities([5, 5]), copies=2, resolution=0
+            )
+
+    def test_pattern_length(self):
+        strategy = WeightedStripingStrategy(
+            bins_from_capacities([5, 5]), copies=2, resolution=16
+        )
+        assert strategy.pattern_length == 32

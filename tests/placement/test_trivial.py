@@ -1,0 +1,88 @@
+"""Tests for the trivial replication baseline and Lemma 2.4 / Figure 1."""
+
+import collections
+
+import pytest
+
+from repro.placement import (
+    TrivialReplication,
+    trivial_miss_probability,
+    trivial_wasted_fraction,
+)
+from repro.types import bins_from_capacities
+
+
+class TestMissProbability:
+    def test_figure1_example(self):
+        # [2, 1, 1], k=2: the big bin is missed with probability exactly 1/6.
+        assert trivial_miss_probability([2, 1, 1], 2, 0) == pytest.approx(1 / 6)
+
+    def test_small_bins_symmetric(self):
+        first = trivial_miss_probability([2, 1, 1], 2, 1)
+        second = trivial_miss_probability([2, 1, 1], 2, 2)
+        assert first == pytest.approx(second)
+
+    def test_k_equals_n_never_misses(self):
+        assert trivial_miss_probability([2, 1, 1], 3, 0) == pytest.approx(0.0)
+
+    def test_rejects_too_many_copies(self):
+        with pytest.raises(ValueError):
+            trivial_miss_probability([1, 1], 3, 0)
+
+
+class TestWastedFraction:
+    def test_figure1_waste_is_one_twelfth(self):
+        assert trivial_wasted_fraction([2, 1, 1], 2) == pytest.approx(1 / 12)
+
+    def test_homogeneous_wastes_nothing(self):
+        assert trivial_wasted_fraction([5, 5, 5, 5], 2) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_waste_grows_with_skew(self):
+        mild = trivial_wasted_fraction([3, 2, 2, 2], 2)
+        strong = trivial_wasted_fraction([6, 2, 2, 2], 2)
+        assert strong > mild
+
+
+class TestTrivialStrategy:
+    def test_redundancy_holds(self):
+        strategy = TrivialReplication(bins_from_capacities([5, 4, 3, 2]), copies=3)
+        for address in range(2000):
+            placement = strategy.place(address)
+            assert len(set(placement)) == 3
+
+    def test_deterministic(self):
+        strategy = TrivialReplication(bins_from_capacities([5, 4, 3]), copies=2)
+        assert strategy.place(4) == strategy.place(4)
+
+    def test_empirical_miss_matches_analytic(self):
+        strategy = TrivialReplication(bins_from_capacities([2, 1, 1]), copies=2)
+        balls = 30_000
+        missed = sum(
+            1 for address in range(balls) if "bin-0" not in strategy.place(address)
+        )
+        assert missed / balls == pytest.approx(1 / 6, abs=0.01)
+
+    def test_expected_shares_match_empirical(self):
+        strategy = TrivialReplication(bins_from_capacities([4, 2, 1, 1]), copies=2)
+        shares = strategy.expected_shares()
+        counts = collections.Counter()
+        balls = 30_000
+        for address in range(balls):
+            for bin_id in strategy.place(address):
+                counts[bin_id] += 1
+        for bin_id, share in shares.items():
+            assert counts[bin_id] / (2 * balls) == pytest.approx(share, abs=0.01)
+
+    def test_big_bin_underloaded_vs_fair_target(self):
+        """Lemma 2.4: the trivial strategy under-loads the biggest bin."""
+        capacities = [4, 2, 1, 1]
+        strategy = TrivialReplication(bins_from_capacities(capacities), copies=2)
+        shares = strategy.expected_shares()
+        fair = capacities[0] / sum(capacities)  # 0.5 == k*c/k with k=2
+        assert shares["bin-0"] < fair
+
+    def test_expected_shares_none_for_large_systems(self):
+        strategy = TrivialReplication(bins_from_capacities([1] * 20), copies=2)
+        assert strategy.expected_shares() is None

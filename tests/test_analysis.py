@@ -1,0 +1,144 @@
+"""Tests for the durability models (MTTDL closed forms + simulation)."""
+
+import pytest
+
+from repro.analysis import (
+    DurabilityModel,
+    annual_loss_probability,
+    mttdl,
+    mttdl_mirror,
+    simulate_mttdl,
+)
+
+
+class TestModelValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DurabilityModel(0, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DurabilityModel(3, 3, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DurabilityModel(3, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            DurabilityModel(3, 1, 1.0, -1.0)
+
+
+class TestClosedForms:
+    def test_mirror_k2_matches_textbook(self):
+        # Classic result: MTTDL = (3λ + μ) / (2 λ²).
+        mttf, mttr = 1000.0, 10.0
+        lam, mu = 1 / mttf, 1 / mttr
+        expected = (3 * lam + mu) / (2 * lam * lam)
+        assert mttdl_mirror(2, mttf, mttr) == pytest.approx(expected)
+
+    def test_no_redundancy_is_mttf(self):
+        model = DurabilityModel(1, 0, 500.0, 5.0)
+        assert mttdl(model) == pytest.approx(500.0)
+
+    def test_more_copies_help_enormously(self):
+        two = mttdl_mirror(2, 1000.0, 1.0)
+        three = mttdl_mirror(3, 1000.0, 1.0)
+        assert three > 100 * two
+
+    def test_faster_repair_helps(self):
+        slow = mttdl_mirror(2, 1000.0, 100.0)
+        fast = mttdl_mirror(2, 1000.0, 1.0)
+        assert fast > 10 * slow
+
+    def test_rs_code_tolerance(self):
+        # RS(4+2) on 6 devices tolerates 2 losses; beats mirroring k=2 on
+        # the same per-device parameters despite more devices.
+        rs = mttdl(DurabilityModel(6, 2, 1000.0, 1.0))
+        mirror = mttdl_mirror(2, 1000.0, 1.0)
+        assert rs > mirror
+
+    def test_annual_loss_probability_small_and_monotone(self):
+        good = DurabilityModel(3, 2, 10_000.0, 1.0)
+        bad = DurabilityModel(2, 1, 1_000.0, 100.0)
+        assert annual_loss_probability(good) < annual_loss_probability(bad)
+        assert 0.0 < annual_loss_probability(bad) < 1.0
+
+
+class TestSimulationCrossCheck:
+    def test_simulated_matches_analytic_mirror(self):
+        # Moderate ratio so runs are fast yet the estimate concentrates.
+        model = DurabilityModel(2, 1, 100.0, 10.0)
+        analytic = mttdl(model)
+        simulated = simulate_mttdl(model, runs=300, seed=1)
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_simulated_matches_analytic_three_way(self):
+        model = DurabilityModel(3, 2, 50.0, 10.0)
+        analytic = mttdl(model)
+        simulated = simulate_mttdl(model, runs=300, seed=2)
+        assert simulated == pytest.approx(analytic, rel=0.3)
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            simulate_mttdl(DurabilityModel(2, 1, 10.0, 1.0), runs=0)
+
+    def test_deterministic_given_seed(self):
+        model = DurabilityModel(2, 1, 100.0, 10.0)
+        first = simulate_mttdl(model, runs=50, seed=3)
+        second = simulate_mttdl(model, runs=50, seed=3)
+        assert first == second
+
+
+class TestConcentration:
+    def test_validation(self):
+        from repro.analysis import (
+            deviation_probability,
+            required_copies,
+            tolerance_for,
+        )
+
+        with pytest.raises(ValueError):
+            deviation_probability(0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            deviation_probability(10, 1.5, 0.1)
+        with pytest.raises(ValueError):
+            deviation_probability(10, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            tolerance_for(10, 0.5, confidence=1.5)
+        with pytest.raises(ValueError):
+            required_copies(0.5, 0.0)
+
+    def test_bound_shrinks_with_samples(self):
+        from repro.analysis import deviation_probability
+
+        assert deviation_probability(100_000, 0.3, 0.01) < (
+            deviation_probability(1_000, 0.3, 0.01)
+        )
+
+    def test_tolerance_inverts_probability(self):
+        from repro.analysis import deviation_probability, tolerance_for
+
+        eps = tolerance_for(50_000, 0.25, confidence=0.999)
+        assert deviation_probability(50_000, 0.25, eps) <= 0.0011
+
+    def test_required_copies_round_trip(self):
+        from repro.analysis import required_copies, tolerance_for
+
+        n = required_copies(0.4, 0.01, confidence=0.99)
+        assert tolerance_for(n, 0.4, confidence=0.99) <= 0.0101
+
+    def test_empirical_deviation_within_tolerance(self):
+        """A perfectly fair strategy stays inside the Chernoff envelope."""
+        import collections
+
+        from repro.analysis import fairness_tolerances
+        from repro.core import RedundantShare
+        from repro.types import bins_from_capacities
+
+        strategy = RedundantShare(
+            bins_from_capacities([900, 700, 400]), copies=2
+        )
+        balls = 20_000
+        counts = collections.Counter()
+        for address in range(balls):
+            counts.update(strategy.place(address))
+        expected = strategy.expected_shares()
+        tolerances = fairness_tolerances(expected, 2 * balls, confidence=0.9999)
+        for bin_id, share in expected.items():
+            deviation = abs(counts[bin_id] / (2 * balls) - share)
+            assert deviation <= tolerances[bin_id], bin_id

@@ -1,0 +1,68 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_capacity(self, capsys):
+        assert main(["capacity", "--capacities", "100,6,1", "--copies", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max storable balls : 7" in out
+        assert "False" in out
+
+    def test_place(self, capsys):
+        assert main(
+            ["place", "--capacities", "5,4,3", "--count", "2", "--copies", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 2
+
+    def test_fairness(self, capsys):
+        assert main(
+            ["fairness", "--capacities", "5,4,3", "--balls", "2000"]
+        ) == 0
+        assert "observed" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--capacities", "4,2,1,1", "--balls", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "redundant-share" in out
+        assert "trivial" in out
+
+    def test_adaptivity(self, capsys):
+        assert main(
+            ["adaptivity", "--balls", "1000", "--disks", "4", "--base", "500",
+             "--step", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "het. add big" in out
+
+    def test_bad_capacities(self):
+        with pytest.raises(SystemExit):
+            main(["capacity", "--capacities", "abc"])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["place", "--strategy", "bogus"])
+
+    def test_durability(self, capsys):
+        assert main(["durability", "--mttf", "500", "--mttr", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mirror k=2" in out
+        assert "RS 4+2" in out
+
+    def test_fast_strategy_available(self, capsys):
+        assert main(
+            ["fairness", "--capacities", "5,4,3", "--strategy", "fast",
+             "--balls", "1000"]
+        ) == 0
+
+    def test_growth(self, capsys):
+        assert main(
+            ["growth", "--balls", "1500", "--base", "500", "--step", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 Disks" in out
+        assert "spread" in out

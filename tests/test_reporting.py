@@ -1,0 +1,44 @@
+"""Tests for the shared report rendering."""
+
+from repro.reporting import (
+    format_percent,
+    print_table,
+    render_table,
+    share_table,
+)
+
+
+class TestRenderTable:
+    def test_contains_title_and_cells(self):
+        text = render_table("My Title", ["a", "b"], [[1, 2], [30, 40]])
+        assert "=== My Title ===" in text
+        assert "30" in text
+        assert "b" in text
+
+    def test_columns_aligned(self):
+        text = render_table("t", ["col"], [["x"], ["longer-value"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # header rule and rows share the width
+
+    def test_empty_rows(self):
+        text = render_table("t", ["a"], [])
+        assert "=== t ===" in text
+
+    def test_print_table(self, capsys):
+        print_table("t", ["a"], [[5]])
+        assert "5" in capsys.readouterr().out
+
+
+class TestFormatters:
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "12.34%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_share_table_merges_keys(self):
+        text = share_table("s", {"alpha": 0.5}, {"alpha": 0.4, "beta": 0.6})
+        assert "50.00%" in text
+        assert "60.00%" in text
+        assert text.index("alpha") < text.index("beta")  # sorted keys
+        # Missing observed value renders as zero.
+        assert "0.00%" in text

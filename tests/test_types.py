@@ -1,0 +1,70 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    BinSpec,
+    bins_from_capacities,
+    relative_capacities,
+    sort_bins_by_capacity,
+    total_capacity,
+    validate_bins,
+)
+
+
+class TestBinSpec:
+    def test_valid(self):
+        spec = BinSpec("a", 5)
+        assert spec.bin_id == "a"
+        assert spec.capacity == 5
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            BinSpec("", 5)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BinSpec("a", 0)
+        with pytest.raises(ValueError):
+            BinSpec("a", -3)
+
+    def test_frozen(self):
+        spec = BinSpec("a", 5)
+        with pytest.raises(AttributeError):
+            spec.capacity = 10  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert BinSpec("a", 5) == BinSpec("a", 5)
+        assert len({BinSpec("a", 5), BinSpec("a", 5)}) == 1
+
+
+class TestValidateBins:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            validate_bins([])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            validate_bins([BinSpec("a", 1), BinSpec("a", 2)])
+
+    def test_valid_passes(self):
+        validate_bins([BinSpec("a", 1), BinSpec("b", 2)])
+
+
+class TestHelpers:
+    def test_sort_descending_with_tiebreak(self):
+        bins = [BinSpec("b", 5), BinSpec("a", 5), BinSpec("c", 9)]
+        ordered = sort_bins_by_capacity(bins)
+        assert [spec.bin_id for spec in ordered] == ["c", "a", "b"]
+
+    def test_total_capacity(self):
+        assert total_capacity([BinSpec("a", 3), BinSpec("b", 4)]) == 7
+
+    def test_relative_capacities(self):
+        shares = relative_capacities([BinSpec("a", 1), BinSpec("b", 3)])
+        assert shares == {"a": 0.25, "b": 0.75}
+
+    def test_bins_from_capacities(self):
+        bins = bins_from_capacities([3, 1], prefix="disk")
+        assert bins[0] == BinSpec("disk-0", 3)
+        assert bins[1] == BinSpec("disk-1", 1)

@@ -1,0 +1,165 @@
+"""Tests for address generators and request traces."""
+
+import collections
+
+import pytest
+
+from repro.workloads import (
+    Op,
+    Request,
+    ZipfGenerator,
+    hotspot,
+    materialize,
+    mixed,
+    sequential,
+    uniform,
+    write_population,
+    zipf_reads,
+)
+
+
+class TestSequential:
+    def test_basic(self):
+        assert list(sequential(3)) == [0, 1, 2]
+
+    def test_offset(self):
+        assert list(sequential(2, start=10)) == [10, 11]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(sequential(-1))
+
+
+class TestUniform:
+    def test_range_and_determinism(self):
+        first = list(uniform(100, 50, seed=1))
+        second = list(uniform(100, 50, seed=1))
+        assert first == second
+        assert all(0 <= value < 50 for value in first)
+
+    def test_different_seeds_differ(self):
+        assert list(uniform(50, 1000, seed=1)) != list(uniform(50, 1000, seed=2))
+
+    def test_bad_universe(self):
+        with pytest.raises(ValueError):
+            list(uniform(1, 0))
+
+    def test_roughly_uniform(self):
+        counts = collections.Counter(uniform(20_000, 10, seed=3))
+        for value in range(10):
+            assert counts[value] / 20_000 == pytest.approx(0.1, abs=0.02)
+
+
+class TestZipf:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, alpha=0)
+
+    def test_determinism(self):
+        generator = ZipfGenerator(100, alpha=1.2, seed=7)
+        assert list(generator.stream(50)) == list(
+            ZipfGenerator(100, alpha=1.2, seed=7).stream(50)
+        )
+
+    def test_skew(self):
+        generator = ZipfGenerator(1000, alpha=1.2, seed=1)
+        counts = collections.Counter(generator.stream(10_000))
+        top = counts[0]
+        mid = counts.get(100, 0)
+        assert top > 10 * max(mid, 1)
+
+    def test_range(self):
+        generator = ZipfGenerator(16, seed=2)
+        assert all(0 <= value < 16 for value in generator.stream(500))
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(hotspot(1, 100, hot_fraction=0.0))
+        with pytest.raises(ValueError):
+            list(hotspot(1, 100, hot_weight=1.5))
+
+    def test_hot_region_dominates(self):
+        values = list(hotspot(5000, 1000, hot_fraction=0.1, hot_weight=0.9, seed=1))
+        hot_hits = sum(1 for value in values if value < 100)
+        assert hot_hits / len(values) == pytest.approx(0.9, abs=0.03)
+
+
+class TestTraces:
+    def test_write_population(self):
+        trace = materialize(write_population(5))
+        assert len(trace) == 5
+        assert all(request.op is Op.WRITE for request in trace)
+        assert [request.address for request in trace] == [0, 1, 2, 3, 4]
+
+    def test_payload_deterministic_and_sized(self):
+        request = Request(Op.WRITE, 42, payload_seed=1)
+        assert request.payload(32) == Request(Op.WRITE, 42, payload_seed=1).payload(32)
+        assert len(request.payload(100)) == 100
+
+    def test_payload_varies_by_address(self):
+        a = Request(Op.WRITE, 1, payload_seed=1).payload()
+        b = Request(Op.WRITE, 2, payload_seed=1).payload()
+        assert a != b
+
+    def test_mixed_fraction(self):
+        trace = materialize(mixed(5000, 100, read_fraction=0.7, seed=1))
+        reads = sum(1 for request in trace if request.op is Op.READ)
+        assert reads / len(trace) == pytest.approx(0.7, abs=0.03)
+
+    def test_mixed_validation(self):
+        with pytest.raises(ValueError):
+            materialize(mixed(1, 10, read_fraction=2.0))
+
+    def test_zipf_reads(self):
+        trace = materialize(zipf_reads(200, 50, seed=1))
+        assert all(request.op is Op.READ for request in trace)
+        assert all(0 <= request.address < 50 for request in trace)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        from repro.workloads import dump_trace, load_trace
+
+        original = materialize(mixed(200, 50, read_fraction=0.5, seed=4))
+        path = tmp_path / "trace.jsonl"
+        written = dump_trace(original, path)
+        assert written == 200
+        loaded = list(load_trace(path))
+        assert loaded == original
+
+    def test_write_seeds_preserved(self, tmp_path):
+        from repro.workloads import dump_trace, load_trace
+
+        original = materialize(write_population(5))
+        path = tmp_path / "w.jsonl"
+        dump_trace(original, path)
+        loaded = list(load_trace(path))
+        assert all(request.payload_seed == 1 for request in loaded)
+        assert loaded[3].payload() == original[3].payload()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.workloads import load_trace
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"op": "read", "address": 3}\n\n')
+        assert len(list(load_trace(path))) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        from repro.workloads import load_trace
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not-json\n")
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+
+    def test_missing_field_raises(self, tmp_path):
+        from repro.workloads import load_trace
+
+        path = tmp_path / "bad2.jsonl"
+        path.write_text('{"op": "read"}\n')
+        with pytest.raises(ValueError):
+            list(load_trace(path))
