@@ -14,6 +14,7 @@ the step mean, i.e. the bars are level.
 import pytest
 
 from _tables import emit
+from repro._compat import HAVE_NUMPY
 from repro.core import LinMirror
 from repro.simulation import paper_growth_steps, run_fairness
 
@@ -31,6 +32,9 @@ def run_figure2():
 
 def test_fig2_fairness_heterogeneous_k2(benchmark):
     steps, results = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    # The runner places each step's ball population via place_many; record
+    # which engine produced this timing so the perf trajectory is comparable.
+    benchmark.extra_info["batch_backend"] = "numpy" if HAVE_NUMPY else "python"
 
     disks = sorted({disk for result in results for disk in result.fills})
     rows = []

@@ -12,6 +12,7 @@ factor of about 2.5" — and Lemma 3.2 bounds the factor by 4.
 import pytest
 
 from _tables import emit
+from repro._compat import HAVE_NUMPY
 from repro.core import LinMirror
 from repro.simulation import add_remove_cases, run_adaptivity
 
@@ -28,6 +29,8 @@ def run_figure3():
 
 def test_fig3_adaptivity_linmirror(benchmark):
     results = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    # Movement comparison runs over batch placements; record the engine.
+    benchmark.extra_info["batch_backend"] = "numpy" if HAVE_NUMPY else "python"
 
     emit(
         "Figure 3: adaptivity of LinMirror (k=2); paper: ~1.5 big / ~2.5 "

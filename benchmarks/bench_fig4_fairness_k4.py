@@ -8,6 +8,7 @@ completely fair distributions."
 import pytest
 
 from _tables import emit
+from repro._compat import HAVE_NUMPY
 from repro.core import RedundantShare
 from repro.simulation import paper_growth_steps, run_fairness
 
@@ -28,6 +29,9 @@ def run_figure4():
 
 def test_fig4_fairness_heterogeneous_k4(benchmark):
     steps, results = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    # The runner places each step's ball population via place_many; record
+    # which engine produced this timing so the perf trajectory is comparable.
+    benchmark.extra_info["batch_backend"] = "numpy" if HAVE_NUMPY else "python"
 
     disks = sorted({disk for result in results for disk in result.fills})
     rows = []

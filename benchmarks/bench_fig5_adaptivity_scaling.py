@@ -14,6 +14,7 @@ that there is a much lower bound").
 import pytest
 
 from _tables import emit
+from repro._compat import HAVE_NUMPY
 from repro.core import RedundantShare
 from repro.simulation import run_adaptivity, scaling_cases
 
@@ -41,6 +42,8 @@ def run_figure5():
 
 def test_fig5_adaptivity_scaling_k4(benchmark):
     table = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    # Movement comparison runs over batch placements; record the engine.
+    benchmark.extra_info["batch_backend"] = "numpy" if HAVE_NUMPY else "python"
 
     emit(
         "Figure 5: replaced/used factor, k=4, homogeneous bins "

@@ -1,0 +1,109 @@
+"""Batch placement throughput — the perf trajectory's anchor table.
+
+Measures addresses/second for the scalar ``place`` loop vs. the batch
+``place_many`` engine, per strategy, on the paper's heterogeneous
+12-disk configuration, and writes the machine-readable result to
+``BENCH_placement.json`` at the repository root so future changes have a
+trajectory to compare against.
+
+Headline assertion: with NumPy installed, the vectorized Algorithm 2/4
+scan must place a ≥100k-address batch at least 10x faster than the
+scalar loop for ``RedundantShare(k=3)``.  Without NumPy the fallback is
+the scalar loop itself, so only equivalence (not speedup) is asserted.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from _tables import emit
+from repro._compat import HAVE_NUMPY
+from repro.core import FastRedundantShare, LinMirror, RedundantShare
+from repro.placement import TrivialReplication
+from repro.simulation import heterogeneous_bins
+
+#: ≥100k addresses — the acceptance scale for the 10x headline claim.
+ADDRESSES = 100_000
+#: Baselines without a vectorized engine get a smaller population so the
+#: table stays cheap to regenerate; their speedup is ~1x by construction.
+LOOP_ADDRESSES = 20_000
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+
+STRATEGIES = (
+    ("redundant-share-k3", lambda bins: RedundantShare(bins, copies=3), ADDRESSES),
+    ("lin-mirror", lambda bins: LinMirror(bins), ADDRESSES),
+    (
+        "fast-redundant-share-k3",
+        lambda bins: FastRedundantShare(bins, copies=3),
+        LOOP_ADDRESSES,
+    ),
+    ("trivial-k3", lambda bins: TrivialReplication(bins, copies=3), LOOP_ADDRESSES),
+)
+
+
+def measure(factory, addresses):
+    """Time the scalar loop and the batch engine over the same addresses."""
+    strategy = factory(heterogeneous_bins(12))
+    population = list(range(addresses))
+    start = time.perf_counter()
+    scalar = [strategy.place(address) for address in population]
+    scalar_seconds = time.perf_counter() - start
+    strategy.place_many(population[:64])  # warm lazy vector tables
+    start = time.perf_counter()
+    batch = strategy.place_many(population)
+    batch_seconds = time.perf_counter() - start
+    assert batch.tuples() == scalar, "batch engine diverged from scalar scan"
+    return {
+        "addresses": addresses,
+        "scalar_per_sec": round(addresses / scalar_seconds),
+        "batch_per_sec": round(addresses / batch_seconds),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+    }
+
+
+def test_batch_throughput_table(benchmark):
+    """Regenerates BENCH_placement.json and asserts the 10x headline."""
+
+    def experiment():
+        return {
+            name: measure(factory, addresses)
+            for name, factory, addresses in STRATEGIES
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    emit(
+        "Batch placement throughput (addresses/sec, 12 heterogeneous disks)",
+        ["strategy", "addresses", "scalar/s", "batch/s", "speedup"],
+        [
+            [
+                name,
+                row["addresses"],
+                row["scalar_per_sec"],
+                row["batch_per_sec"],
+                f"{row['speedup']:.2f}x",
+            ]
+            for name, row in results.items()
+        ],
+    )
+
+    payload = {
+        "benchmark": "bench_table_batch_throughput",
+        "numpy": HAVE_NUMPY,
+        "strategies": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for name, row in results.items():
+        benchmark.extra_info[f"{name}_speedup"] = row["speedup"]
+    benchmark.extra_info["numpy"] = HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        headline = results["redundant-share-k3"]
+        assert headline["addresses"] >= 100_000
+        assert headline["speedup"] >= 10.0, (
+            f"vectorized scan only {headline['speedup']}x faster"
+        )

@@ -51,6 +51,26 @@ def test_lookup_fast_redundant_share(benchmark, size):
     benchmark.extra_info["states"] = strategy.state_count()
 
 
+@pytest.mark.parametrize("size", SIZES)
+def test_batch_lookup_scan_redundant_share(benchmark, size):
+    """Throughput of the vectorized batch path across system sizes.
+
+    Complements the single-lookup latency rows above: ``place_many``
+    amortises the per-address Python overhead, so addresses/sec stays
+    orders of magnitude above the scalar loop until the O(n) rank scan
+    itself dominates.
+    """
+    strategy = RedundantShare(heterogeneous(size), copies=COPIES)
+    addresses = list(range(20_000))
+    strategy.place_many(addresses[:64])  # warm the lazy vector tables
+    result = benchmark.pedantic(
+        lambda: strategy.place_many(addresses), rounds=3, iterations=1
+    )
+    benchmark.extra_info["bins"] = size
+    benchmark.extra_info["addresses"] = len(addresses)
+    assert len(result) == len(addresses)
+
+
 @pytest.mark.parametrize(
     "name",
     ["trivial", "crush", "consistent-hashing", "rendezvous", "share"],

@@ -170,8 +170,12 @@ def _single_run(model: DurabilityModel, seed: int, run: int) -> float:
         state["down"] -= 1
         schedule_failure(device)
 
-    for device in range(model.devices):
-        schedule_failure(device)
+    # Seed all first failures in one bulk heapify (same draw order, same
+    # tie-breaking counters as per-device schedule calls).
+    simulator.schedule_many(
+        (draw(model.failure_rate), lambda device=device: fail(device))
+        for device in range(model.devices)
+    )
     while state["lost_at"] is None:
         if not simulator.step():  # pragma: no cover - chain always absorbs
             raise AssertionError("simulation ran out of events")

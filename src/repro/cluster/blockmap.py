@@ -33,6 +33,26 @@ class BlockMap:
                 (address, position)
             )
 
+    def record_many(self, addresses, placements) -> None:
+        """Bulk insert/replace placements for parallel address sequences.
+
+        Equivalent to calling :meth:`record` pairwise, with the dict and
+        set lookups hoisted out of the per-share loop — the path bulk
+        loads (snapshot restore, batch writes) go through.
+        """
+        own_placements = self._placements
+        by_device = self._by_device
+        for address, placement in zip(addresses, placements):
+            if address in own_placements:
+                self.forget(address)
+            stored = tuple(placement)
+            own_placements[address] = stored
+            for position, device_id in enumerate(stored):
+                shares = by_device.get(device_id)
+                if shares is None:
+                    shares = by_device[device_id] = set()
+                shares.add((address, position))
+
     def lookup(self, address: int) -> Placement:
         """Placement of a block.
 

@@ -328,15 +328,32 @@ class Cluster:
 
     def out_of_place(self) -> List[int]:
         """Blocks whose recorded placement differs from the current
-        strategy's — the backlog of a lazy reconfiguration."""
-        backlog = []
-        for address in self._map.addresses():
-            if self._map.lookup(address) != self._strategy.place(address):
-                backlog.append(address)
-        return backlog
+        strategy's — the backlog of a lazy reconfiguration.
 
-    def migrate_block(self, address: int) -> int:
+        Computed with one batch placement over all stored addresses (the
+        strategy's vectorized engine where available) instead of a
+        per-block lookup loop.
+        """
+        addresses = list(self._map.addresses())
+        placements = self._strategy.place_many(addresses).tuples()
+        lookup = self._map.lookup
+        return [
+            address
+            for address, placement in zip(addresses, placements)
+            if lookup(address) != placement
+        ]
+
+    def migrate_block(
+        self, address: int, new_placement: Optional[Sequence[str]] = None
+    ) -> int:
         """Move one block to its current-strategy placement.
+
+        Args:
+            address: The block to migrate.
+            new_placement: Precomputed target placement for the *current*
+                strategy, as produced by ``strategy.place_many`` — batch
+                callers (the rebalancer) pass it to avoid re-placing every
+                block; when omitted it is computed here.
 
         Returns:
             Number of shares physically moved (0 if already in place).
@@ -345,7 +362,10 @@ class Cluster:
             BlockNotFoundError: if the block was never written.
         """
         old_placement = self._map.lookup(address)
-        new_placement = self._strategy.place(address)
+        if new_placement is None:
+            new_placement = self._strategy.place(address)
+        else:
+            new_placement = tuple(new_placement)
         if old_placement == new_placement:
             return 0
         shares = self._collect_shares(address, old_placement)
@@ -399,9 +419,12 @@ class Cluster:
         moved = 0
         rebuilt = 0
         total = 0
-        for address in self._map.addresses():
+        addresses = list(self._map.addresses())
+        # One vectorized batch placement for the whole population; the
+        # per-block loop below only runs for blocks that actually move.
+        new_placements = new_strategy.place_many(addresses).tuples()
+        for address, new_placement in zip(addresses, new_placements):
             old_placement = self._map.lookup(address)
-            new_placement = new_strategy.place(address)
             total += len(new_placement)
             if old_placement == new_placement:
                 continue

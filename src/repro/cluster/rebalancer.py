@@ -65,17 +65,28 @@ class Rebalancer:
     def step(self, max_blocks: int = 100) -> int:
         """Migrate up to ``max_blocks`` blocks; returns blocks moved.
 
+        The chunk's target placements are computed in one batch against
+        the cluster's *current* strategy (recomputed every step, so
+        strategy swaps between steps stay correct) and handed to
+        :meth:`~repro.cluster.cluster.Cluster.migrate_block`, which then
+        only does per-block work for blocks that actually move.
+
         Blocks that became in-place on their own (e.g. rewritten by a
         client under the new layout) are skipped but still count as
         completed backlog.
         """
         if max_blocks < 1:
             raise ValueError("max_blocks must be >= 1")
+        chunk = self._backlog[-max_blocks:]
+        if not chunk:
+            return 0
+        del self._backlog[-len(chunk):]
+        targets = self._cluster.strategy.place_many(chunk).tuples()
         migrated = 0
-        while self._backlog and migrated < max_blocks:
-            address = self._backlog.pop()
+        # Pop order (end of the backlog first) is preserved.
+        for address, target in zip(reversed(chunk), reversed(targets)):
             try:
-                moved = self._cluster.migrate_block(address)
+                moved = self._cluster.migrate_block(address, target)
             except Exception:
                 # Deleted while queued: nothing to migrate.
                 self._progress.migrated_blocks += 1

@@ -25,12 +25,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .._compat import get_numpy
 from ..capacity.clipping import clip_capacities, is_capacity_efficient
 from ..exceptions import InfeasibleReplicationError
-from ..hashing.primitives import derive_base, unit_from_base
-from ..placement.base import ReplicationStrategy
+from ..hashing.primitives import (
+    _INV_2_64,
+    as_u64_array,
+    derive_base,
+    splitmix64_array,
+    unit_from_base,
+)
+from ..placement.base import BatchPlacement, ReplicationStrategy
 from ..types import BinSpec, Placement, sort_bins_by_capacity
 from .preprocess import HazardTable, compute_hazards
+
+#: Bounded size of the per-instance walk cache backing :meth:`place_copy`
+#: (FIFO eviction; sized for the read-path pattern of consulting a few
+#: positions of the same hot addresses repeatedly).
+_WALK_CACHE_SIZE = 1024
 
 
 class RedundantShare(ReplicationStrategy):
@@ -85,6 +97,10 @@ class RedundantShare(ReplicationStrategy):
         self._deadlines = [
             len(self._ordered) - copies + c for c in range(copies)
         ]
+        # Lazily built vectorized draw state (uint64 base matrix) and the
+        # bounded walk memo shared by place_copy/primary/secondary.
+        self._np_bases = None
+        self._walk_cache: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -126,15 +142,38 @@ class RedundantShare(ReplicationStrategy):
         return tuple(self._walk(address, self._copies))
 
     def place_copy(self, address: int, position: int) -> str:
-        """Bin of copy ``position`` (0-based) without materialising the rest."""
+        """Bin of copy ``position`` (0-based) via the shared walk cache.
+
+        The full k-copy scan is computed once per address and memoised
+        (bounded FIFO), so ``primary()``/``secondary()``/``place_copy``
+        sequences over the same address cost one scan instead of
+        re-running Algorithm 2/4 from rank 0 for every position.
+        """
         if not 0 <= position < self._copies:
             raise IndexError(f"copy position {position} out of range")
-        return self._walk(address, position + 1)[-1]
+        return self._rank_ids[self._cached_ranks(address)[position]]
+
+    def _cached_ranks(self, address: int) -> List[int]:
+        """Full scan result for ``address``, memoised with FIFO eviction."""
+        ranks = self._walk_cache.get(address)
+        if ranks is None:
+            ranks = self._walk_ranks(address, self._copies)
+            if len(self._walk_cache) >= _WALK_CACHE_SIZE:
+                self._walk_cache.pop(next(iter(self._walk_cache)))
+            self._walk_cache[address] = ranks
+        return ranks
 
     def _walk(self, address: int, copies_wanted: int) -> List[str]:
-        """The Algorithm 2/4 scan, shared by :meth:`place` and
-        :meth:`place_copy`."""
-        result: List[str] = []
+        """The scalar Algorithm 2/4 scan, mapped to bin ids."""
+        return [
+            self._rank_ids[rank]
+            for rank in self._walk_ranks(address, copies_wanted)
+        ]
+
+    def _walk_ranks(self, address: int, copies_wanted: int) -> List[int]:
+        """The Algorithm 2/4 scan over rank indices — the scalar reference
+        the vectorized engine is pinned to."""
+        result: List[int] = []
         rank = 0
         for copy in range(copies_wanted):
             hazards = self._table.hazards[copy]
@@ -145,11 +184,76 @@ class RedundantShare(ReplicationStrategy):
                     or hazards[rank] >= 1.0
                     or self._draw(copy, rank, address) < hazards[rank]
                 ):
-                    result.append(self._rank_ids[rank])
+                    result.append(rank)
                     rank += 1
                     break
                 rank += 1
         return result
+
+    # ------------------------------------------------------------------
+    # Batch placement
+    # ------------------------------------------------------------------
+
+    def place_many(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Vectorized Algorithm 2/4 over a whole address batch.
+
+        With NumPy installed the hazard scan runs as a masked selection
+        over the rank axis — per (copy, rank) one SplitMix64 evaluation of
+        exactly the addresses whose scan is at that rank — instead of a
+        Python while-loop per address; element-wise identical to
+        :meth:`place` (the property tests pin this).  Without NumPy it
+        falls back to the scalar scan per address.
+        """
+        np = get_numpy()
+        if np is None:
+            columns: List[List[int]] = [[] for _ in range(self._copies)]
+            for address in addresses:
+                for position, rank in enumerate(
+                    self._walk_ranks(address, self._copies)
+                ):
+                    columns[position].append(rank)
+            return BatchPlacement(self._rank_ids, columns)
+        return self._place_many_np(np, addresses)
+
+    def _place_many_np(self, np, addresses: Sequence[int]) -> BatchPlacement:
+        """The NumPy engine behind :meth:`place_many`."""
+        bases = self._np_bases
+        if bases is None:
+            bases = self._np_bases = np.asarray(
+                self._draw_bases, dtype=np.uint64
+            )
+        addr = as_u64_array(addresses)
+        count = addr.shape[0]
+        # The per-address premix is shared by every draw of the batch:
+        # u64_from_base(base, a) == sm64(sm64(base ^ sm64(a))).
+        mixed = splitmix64_array(addr)
+        position = np.zeros(count, dtype=np.int64)
+        columns = np.empty((self._copies, count), dtype=np.int64)
+        bin_count = len(self._rank_ids)
+        for copy in range(self._copies):
+            hazards = self._table.hazards[copy]
+            deadline = self._deadlines[copy]
+            copy_bases = bases[copy]
+            undecided = np.ones(count, dtype=bool)
+            for rank in range(bin_count):
+                at_rank = np.flatnonzero(undecided & (position == rank))
+                if at_rank.size == 0:
+                    continue
+                hazard = hazards[rank]
+                if rank >= deadline or hazard >= 1.0:
+                    taken = at_rank
+                else:
+                    state = splitmix64_array(copy_bases[rank] ^ mixed[at_rank])
+                    draws = (
+                        splitmix64_array(state).astype(np.float64) * _INV_2_64
+                    )
+                    taken = at_rank[draws < hazard]
+                position[at_rank] = rank + 1
+                columns[copy, taken] = rank
+                undecided[taken] = False
+                if not undecided.any():
+                    break
+        return BatchPlacement(self._rank_ids, list(columns))
 
     def primary(self, address: int) -> str:
         """Convenience accessor for the primary copy's bin."""

@@ -9,11 +9,15 @@ alias tables) the placement strategies are made of.
 from .alias import AliasTable, CumulativeTable, build_selector
 from .primitives import (
     HashStream,
+    as_u64_array,
     hash_sequence,
     splitmix64,
+    splitmix64_array,
     stable_u64,
+    u64s_from_base,
     unit_interval,
     unit_interval_open,
+    units_from_base,
 )
 from .rings import HashRing
 from .universal import CarterWegmanHash, TabulationHash
@@ -25,10 +29,14 @@ __all__ = [
     "HashRing",
     "HashStream",
     "TabulationHash",
+    "as_u64_array",
     "build_selector",
     "hash_sequence",
     "splitmix64",
+    "splitmix64_array",
     "stable_u64",
+    "u64s_from_base",
     "unit_interval",
     "unit_interval_open",
+    "units_from_base",
 ]

@@ -19,11 +19,19 @@ The mixer is the 64-bit finalizer of SplitMix64 / MurmurHash3, a well-studied
 bijective avalanche function.  Strings are folded in via FNV-1a before
 mixing.  Everything is pure Python, needs no dependencies, and is fast enough
 for the simulation scales used in the paper's evaluation (millions of balls).
+
+For *batch* placement the same pipeline is additionally exposed in array
+form (:func:`splitmix64_array`, :func:`u64s_from_base`,
+:func:`units_from_base`): with NumPy installed these evaluate whole address
+vectors per call, bit-for-bit identical to the scalar functions; without
+NumPy they fall back to the scalar loop and return plain lists.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Sequence, Union
+
+from .._compat import get_numpy
 
 _MASK64 = (1 << 64) - 1
 
@@ -140,6 +148,82 @@ def hash_sequence(seed: int, count: int) -> list:
         state = (state + 0x9E3779B97F4A7C15) & _MASK64
         values.append(splitmix64(state))
     return values
+
+
+# ----------------------------------------------------------------------
+# Vectorized pipeline (NumPy fast path, scalar fallback)
+# ----------------------------------------------------------------------
+
+#: SplitMix64 stream increment and finalizer multipliers, named so the
+#: scalar and array implementations visibly share the same constants.
+_SM64_GOLDEN = 0x9E3779B97F4A7C15
+_SM64_MULT1 = 0xBF58476D1CE4E5B9
+_SM64_MULT2 = 0x94D049BB133111EB
+
+
+def as_u64_array(values: Sequence[int]):
+    """Coerce an address sequence to a ``uint64`` NumPy array (mod 2^64).
+
+    Accepts any integer sequence or array; negative values wrap exactly
+    like the scalar functions' ``& _MASK64``.  Returns None when NumPy is
+    unavailable — callers then take their scalar fallback.
+    """
+    np = get_numpy()
+    if np is None:
+        return None
+    arr = np.asarray(values)
+    if arr.dtype == np.uint64:
+        return arr
+    if np.issubdtype(arr.dtype, np.integer):
+        return arr.astype(np.int64, copy=False).view(np.uint64)
+    # Object/oversized ints: mask in Python, then convert exactly.
+    return np.fromiter(
+        (int(value) & _MASK64 for value in values),
+        dtype=np.uint64,
+        count=len(values),
+    )
+
+
+def splitmix64_array(values: Sequence[int]):
+    """Vectorized :func:`splitmix64` over a sequence of integers.
+
+    With NumPy installed, returns a ``uint64`` array; otherwise a list of
+    Python ints.  Either way the elements equal
+    ``[splitmix64(v & 2**64-1) for v in values]`` exactly.
+    """
+    np = get_numpy()
+    if np is None:
+        return [splitmix64(value & _MASK64) for value in values]
+    value = as_u64_array(values) + np.uint64(_SM64_GOLDEN)
+    value = (value ^ (value >> np.uint64(30))) * np.uint64(_SM64_MULT1)
+    value = (value ^ (value >> np.uint64(27))) * np.uint64(_SM64_MULT2)
+    return value ^ (value >> np.uint64(31))
+
+
+def u64s_from_base(base: int, values: Sequence[int]):
+    """Vectorized :func:`u64_from_base` for one per-draw integer each.
+
+    Equals ``[u64_from_base(base, v) for v in values]`` element-wise; a
+    ``uint64`` array with NumPy, a list of ints without.
+    """
+    np = get_numpy()
+    if np is None:
+        return [u64_from_base(base, value) for value in values]
+    mixed = splitmix64_array(values)
+    return splitmix64_array(splitmix64_array(np.uint64(base & _MASK64) ^ mixed))
+
+
+def units_from_base(base: int, values: Sequence[int]):
+    """Vectorized :func:`unit_from_base`: one ``[0, 1)`` draw per value.
+
+    Bit-for-bit identical to ``[unit_from_base(base, v) for v in values]``
+    (the uint64 → float64 conversion rounds the same way in both paths); a
+    ``float64`` array with NumPy, a list of floats without.
+    """
+    np = get_numpy()
+    if np is None:
+        return [unit_from_base(base, value) for value in values]
+    return u64s_from_base(base, values).astype(np.float64) * _INV_2_64
 
 
 class HashStream:

@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
-from ..placement.base import ReplicationStrategy
+from .._compat import get_numpy
+from ..placement.base import BatchPlacement, ReplicationStrategy
 
 
 @dataclass(frozen=True)
@@ -81,28 +82,72 @@ def compare_strategies(
     added = [bin_id for bin_id in affected_bins if bin_id in after_ids]
     removed = [bin_id for bin_id in affected_bins if bin_id not in after_ids]
 
-    balls = 0
-    moved_positional = 0
-    moved_set = 0
-    used = 0
-    for address in addresses:
-        balls += 1
-        old = before.place(address)
-        new = after.place(address)
-        moved_positional += sum(
-            1 for source, target in zip(old, new) if source != target
+    population = list(addresses)
+    old_batch = before.place_many(population)
+    new_batch = after.place_many(population)
+    np = get_numpy()
+    if np is not None and population:
+        moved_positional, moved_set = _count_moves_np(
+            np, old_batch, new_batch
         )
-        moved_set += len(set(old) - set(new))
-        used += sum(1 for bin_id in new if bin_id in added)
-        used += sum(1 for bin_id in old if bin_id in removed)
+    else:
+        moved_positional = 0
+        moved_set = 0
+        for old, new in zip(old_batch.tuples(), new_batch.tuples()):
+            moved_positional += sum(
+                1 for source, target in zip(old, new) if source != target
+            )
+            moved_set += len(set(old) - set(new))
+    old_counts = old_batch.counts()
+    new_counts = new_batch.counts()
+    used = sum(new_counts.get(bin_id, 0) for bin_id in added)
+    used += sum(old_counts.get(bin_id, 0) for bin_id in removed)
     return MovementReport(
-        balls=balls,
+        balls=len(population),
         copies=before.copies,
         moved_positional=moved_positional,
         moved_set=moved_set,
         used_on_affected=used,
         affected_bins=tuple(affected_bins),
     )
+
+
+def _count_moves_np(np, old_batch: BatchPlacement, new_batch: BatchPlacement):
+    """Movement counters over two rank-column batches, in array land.
+
+    The columns of the two batches index *different* rank tables, so both
+    are first translated into a shared global id space; ``moved_set``
+    assumes the redundancy invariant (distinct bins per ball), which every
+    :class:`ReplicationStrategy` guarantees.
+    """
+    union: Dict[str, int] = {}
+    for bin_id in old_batch.rank_ids + new_batch.rank_ids:
+        if bin_id not in union:
+            union[bin_id] = len(union)
+    old_table = np.asarray(
+        [union[bin_id] for bin_id in old_batch.rank_ids], dtype=np.int64
+    )
+    new_table = np.asarray(
+        [union[bin_id] for bin_id in new_batch.rank_ids], dtype=np.int64
+    )
+    old_global = [
+        old_table[np.asarray(column, dtype=np.int64)]
+        for column in old_batch.columns
+    ]
+    new_global = [
+        new_table[np.asarray(column, dtype=np.int64)]
+        for column in new_batch.columns
+    ]
+    moved_positional = sum(
+        int((old != new).sum()) for old, new in zip(old_global, new_global)
+    )
+    moved_set = 0
+    for old in old_global:
+        absent = np.ones(old.shape[0], dtype=bool)
+        for new in new_global:
+            absent &= old != new
+        moved_set += int(absent.sum())
+    return moved_positional, moved_set
 
 
 def optimal_moved_copies(report: MovementReport) -> int:

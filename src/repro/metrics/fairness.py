@@ -102,7 +102,17 @@ def gini_coefficient(values: Sequence[float]) -> float:
 
 
 def count_copies(placements: Iterable[Sequence[str]]) -> Dict[str, int]:
-    """Tally copies per bin over an iterable of placements."""
+    """Tally copies per bin over an iterable of placements.
+
+    Also accepts a column-oriented
+    :class:`~repro.placement.base.BatchPlacement` (the result of
+    ``strategy.place_many``), in which case the histogram is collected
+    with a bincount over the rank columns instead of a Python loop over
+    per-ball tuples — the fast path of the fairness experiments.
+    """
+    counter = getattr(placements, "counts", None)
+    if callable(counter):
+        return counter()
     counts: Dict[str, int] = {}
     for placement in placements:
         for bin_id in placement:

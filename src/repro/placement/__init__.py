@@ -21,6 +21,7 @@ Replication strategies are populated by :mod:`repro.placement.trivial`,
 
 from .alias_placer import AliasPlacer, AliasWeightedPlacer, make_alias
 from .base import (
+    BatchPlacement,
     ReplicationStrategy,
     SingleCopyPlacer,
     WeightedPlacer,
@@ -58,6 +59,7 @@ from .trivial import (
 __all__ = [
     "AliasPlacer",
     "AliasWeightedPlacer",
+    "BatchPlacement",
     "Bucket",
     "ChooseleafCrush",
     "ConsistentHashingPlacer",

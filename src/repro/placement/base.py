@@ -21,10 +21,83 @@ metrics are defined.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from .._compat import get_numpy
 from ..exceptions import ConfigurationError
 from ..types import BinSpec, Placement, validate_bins
+
+
+class BatchPlacement:
+    """Column-oriented result of :meth:`ReplicationStrategy.place_many`.
+
+    Stores one *rank column* per copy position: ``columns[c][j]`` is the
+    index into :attr:`rank_ids` of the bin holding copy ``c`` of the j-th
+    address.  With NumPy installed the columns are ``int64`` arrays (and
+    histograms use ``bincount``); without it they are plain lists — the
+    row-oriented accessors behave identically either way.
+    """
+
+    __slots__ = ("rank_ids", "columns")
+
+    def __init__(self, rank_ids: Sequence[str], columns: Sequence) -> None:
+        """Wrap ``k`` equally long rank columns over a rank → id table."""
+        self.rank_ids: List[str] = list(rank_ids)
+        self.columns = list(columns)
+
+    @property
+    def copies(self) -> int:
+        """Replication degree ``k`` (number of columns)."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        """Number of addresses placed."""
+        return len(self.columns[0]) if self.columns else 0
+
+    def ids_at(self, position: int) -> List[str]:
+        """Bin ids of copy ``position`` for every address (one column)."""
+        rank_ids = self.rank_ids
+        return [rank_ids[int(rank)] for rank in self.columns[position]]
+
+    def tuples(self) -> List[Placement]:
+        """Row view: the list ``[place(a) for a in addresses]`` would give."""
+        np = get_numpy()
+        if np is not None and self.columns and isinstance(
+            self.columns[0], np.ndarray
+        ):
+            table = np.array(self.rank_ids, dtype=object)
+            return list(zip(*(table[column] for column in self.columns)))
+        return list(zip(*(self.ids_at(c) for c in range(self.copies))))
+
+    def __iter__(self) -> Iterator[Placement]:
+        """Iterate the row view (per-address placements)."""
+        return iter(self.tuples())
+
+    def counts(self) -> Dict[str, int]:
+        """Per-bin copy histogram, matching
+        :func:`repro.metrics.fairness.count_copies` over :meth:`tuples`."""
+        np = get_numpy()
+        size = len(self.rank_ids)
+        if np is not None and self.columns and isinstance(
+            self.columns[0], np.ndarray
+        ):
+            total = np.zeros(size, dtype=np.int64)
+            for column in self.columns:
+                total += np.bincount(column, minlength=size)
+            return {
+                self.rank_ids[rank]: int(count)
+                for rank, count in enumerate(total)
+                if count
+            }
+        total = [0] * size
+        for column in self.columns:
+            for rank in column:
+                total[rank] += 1
+        return {
+            self.rank_ids[rank]: count
+            for rank, count in enumerate(total)
+            if count
+        }
 
 
 class SingleCopyPlacer(abc.ABC):
@@ -51,6 +124,16 @@ class SingleCopyPlacer(abc.ABC):
     @abc.abstractmethod
     def place(self, address: int) -> str:
         """Return the bin id storing ball ``address``."""
+
+    def place_many(self, addresses: Sequence[int]) -> List[str]:
+        """Batch lookup: ``[place(a) for a in addresses]``.
+
+        The default simply loops; placers with a vectorized pipeline
+        override this with an equivalent (element-wise identical) fast
+        path.
+        """
+        place = self.place
+        return [place(address) for address in addresses]
 
     def expected_shares(self) -> Dict[str, float]:
         """Analytic probability that a ball lands on each bin.
@@ -124,6 +207,32 @@ class ReplicationStrategy(abc.ABC):
     @abc.abstractmethod
     def place(self, address: int) -> Placement:
         """Return the ordered bin ids of all ``k`` copies of ``address``."""
+
+    def place_many(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Batch lookup: the placements of many addresses, column-wise.
+
+        Semantically equivalent to ``[place(a) for a in addresses]`` (see
+        :meth:`BatchPlacement.tuples`), but returned as ``k`` bin-rank
+        columns so throughput-oriented consumers (fairness histograms,
+        movement comparisons, rebalancing backlogs) can stay in array
+        land.  The default loops over :meth:`place`; strategies with a
+        vectorized scan override it with an element-wise identical fast
+        path.
+        """
+        rank_ids = [spec.bin_id for spec in self._bins]
+        index = {bin_id: rank for rank, bin_id in enumerate(rank_ids)}
+        columns: List[List[int]] = [[] for _ in range(self._copies)]
+        place = self.place
+        for address in addresses:
+            for position, bin_id in enumerate(place(address)):
+                columns[position].append(index[bin_id])
+        np = get_numpy()
+        if np is not None:
+            return BatchPlacement(
+                rank_ids,
+                [np.asarray(column, dtype=np.int64) for column in columns],
+            )
+        return BatchPlacement(rank_ids, columns)
 
     def place_copy(self, address: int, position: int) -> str:
         """Return only the bin of copy ``position`` (0-based).

@@ -123,3 +123,53 @@ class TestHashStream:
         a = primitives.HashStream("k", 1)
         b = primitives.HashStream("k", 2)
         assert a.next_u64() != b.next_u64()
+
+
+class TestBatchPrimitives:
+    """The vectorized pipeline must match the scalars bit for bit."""
+
+    # Edge cases: zero, small, sign boundary, top of range, negatives.
+    VALUES = [0, 1, 17, 2**31, 2**63 - 1, 2**63, 2**64 - 1, -1, -2**63]
+
+    def test_splitmix64_array_matches_scalar(self):
+        result = primitives.splitmix64_array(self.VALUES)
+        expected = [
+            primitives.splitmix64(value & (2**64 - 1)) for value in self.VALUES
+        ]
+        assert [int(v) for v in result] == expected
+
+    def test_u64s_from_base_matches_scalar(self):
+        base = primitives.derive_base("batch", "test")
+        result = primitives.u64s_from_base(base, self.VALUES)
+        expected = [
+            primitives.u64_from_base(base, value & (2**64 - 1))
+            for value in self.VALUES
+        ]
+        assert [int(v) for v in result] == expected
+
+    def test_units_from_base_matches_scalar(self):
+        base = primitives.derive_base("batch", "units")
+        result = primitives.units_from_base(base, range(2000))
+        expected = [
+            primitives.unit_from_base(base, value) for value in range(2000)
+        ]
+        assert [float(v) for v in result] == expected
+        assert all(0.0 <= float(v) < 1.0 for v in result)
+
+    def test_empty_inputs(self):
+        assert list(primitives.splitmix64_array([])) == []
+        assert list(primitives.u64s_from_base(5, [])) == []
+        assert list(primitives.units_from_base(5, [])) == []
+
+    def test_fallback_matches_numpy_path(self, monkeypatch):
+        from repro import _compat
+
+        base = primitives.derive_base("batch", "fallback")
+        values = list(range(300)) + self.VALUES
+        with_numpy = [float(v) for v in primitives.units_from_base(base, values)]
+        monkeypatch.setattr(_compat, "np", None)
+        assert primitives.splitmix64_array(values) == [
+            primitives.splitmix64(value & (2**64 - 1)) for value in values
+        ]
+        assert primitives.units_from_base(base, values) == with_numpy
+        assert primitives.as_u64_array(values) is None
