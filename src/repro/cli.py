@@ -174,6 +174,82 @@ def cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Observability snapshot + statistical fairness acceptance report.
+
+    Runs a seeded placement sample through the chi-square and
+    max-deviation acceptance tests (the Lemma 2.4 machinery), exercises a
+    small cluster through an add-device rebalance and a failure round
+    with the event bus enabled, and renders the captured counters,
+    histograms and trace-event summary.
+    """
+    from .cluster import Cluster, FailureInjector, Rebalancer
+    from .metrics.stats import (
+        chi_square_fairness,
+        fair_copy_shares,
+        max_deviation_fairness,
+        sample_copy_counts,
+    )
+    from .obs import JsonlSink, MemorySink, TeeSink, metrics, reset_metrics, use_sink
+    from .obs.report import render_report
+    from .simulation import Simulator
+    from .types import BinSpec
+
+    capacities = _parse_capacities(args.capacities)
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    strategy = _strategy_for(args.strategy, bins, args.copies)
+
+    reset_metrics()
+    memory = MemorySink()
+    sink = memory
+    if args.jsonl:
+        sink = TeeSink([memory, JsonlSink(args.jsonl)])
+    with use_sink(sink):
+        counts = sample_copy_counts(strategy, args.balls, seed=args.seed)
+        # Always test against the *fair* (clipped capacity-proportional)
+        # shares — a strategy's own expected_shares() describes what it
+        # achieves, and e.g. the trivial strategy would trivially accept
+        # its own Lemma 2.4 waste.
+        expected = fair_copy_shares(
+            {spec.bin_id: float(spec.capacity) for spec in bins}, args.copies
+        )
+        verdicts = [
+            chi_square_fairness(counts, expected, alpha=args.alpha),
+            max_deviation_fairness(counts, expected, alpha=args.alpha),
+        ]
+        if args.exercise:
+            # Scale the capacity vector so the devices hold the written
+            # blocks with headroom for the post-failure rebuild; the
+            # relative proportions (what placement cares about) are kept.
+            scale = max(1, -(-4 * args.blocks * args.copies // sum(capacities)))
+            cluster = Cluster(
+                bins_from_capacities(
+                    [capacity * scale for capacity in capacities],
+                    prefix=args.prefix,
+                ),
+                lambda b: _strategy_for(args.strategy, b, args.copies),
+            )
+            for address in range(args.blocks):
+                cluster.write(address, b"x" * 16)
+            simulator = Simulator()
+            spec = BinSpec(f"{args.prefix}-new", max(capacities) * scale)
+            simulator.schedule(
+                1.0, lambda: cluster.add_device(spec, rebalance=False)
+            )
+            simulator.schedule(
+                2.0, lambda: Rebalancer(cluster).run_to_completion(step_size=64)
+            )
+            simulator.schedule(
+                3.0, lambda: FailureInjector(seed=args.seed).crash(cluster, 1)
+            )
+            simulator.run()
+        sink.close()
+    print(render_report(metrics(), memory, verdicts))
+    if args.strict and not all(verdict.accepted for verdict in verdicts):
+        return 1
+    return 0
+
+
 def cmd_adaptivity(args: argparse.Namespace) -> int:
     """The Figure 3 add/remove experiment."""
     results = run_adaptivity(
@@ -245,6 +321,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_dur.add_argument("--mttf", type=float, default=1000.0)
     p_dur.add_argument("--mttr", type=float, default=1.0)
     p_dur.set_defaults(func=cmd_durability)
+
+    p_stats = sub.add_parser(
+        "stats", help="observability snapshot + fairness acceptance"
+    )
+    common(p_stats)
+    p_stats.add_argument("--strategy", default="redundant-share")
+    p_stats.add_argument("--balls", type=int, default=20_000)
+    p_stats.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="false-positive rate of the acceptance tests",
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--jsonl", default="", help="also stream trace events to this file"
+    )
+    p_stats.add_argument(
+        "--blocks", type=int, default=200,
+        help="blocks written in the instrumented cluster exercise",
+    )
+    p_stats.add_argument(
+        "--no-exercise", dest="exercise", action="store_false",
+        help="skip the cluster/rebalance/failure exercise",
+    )
+    p_stats.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when a fairness test rejects",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_adapt = sub.add_parser("adaptivity", help="Figure 3 experiment")
     common(p_adapt, capacities=False)

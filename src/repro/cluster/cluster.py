@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..erasure.base import ErasureCode
 from ..erasure.mirror import MirrorCode
 from ..exceptions import (
@@ -147,6 +148,9 @@ class Cluster:
         self._log = EventLog()
         self._block_sizes: Dict[int, int] = {}
         self._log.record("cluster-created", devices=len(self._devices))
+        sink = obs.sink()
+        if sink.enabled:
+            sink.emit("cluster.created", devices=len(self._devices))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -324,6 +328,15 @@ class Cluster:
         self._log.record(
             "device-added", device=spec.bin_id, moved=report.moved_shares
         )
+        sink = obs.sink()
+        if sink.enabled:
+            obs.metrics().counter("cluster.devices_added").add(1)
+            sink.emit(
+                "device.added",
+                device=spec.bin_id,
+                rebalance=rebalance,
+                moved=report.moved_shares,
+            )
         return report
 
     def out_of_place(self) -> List[int]:
@@ -387,6 +400,8 @@ class Cluster:
                 target.store((address, position), payload)
             moved += 1
         self._map.record(address, new_placement)
+        if moved and obs.sink().enabled:
+            obs.metrics().counter("cluster.moved_shares").add(moved)
         return moved
 
     def remove_device(self, device_id: str) -> MigrationReport:
@@ -407,6 +422,15 @@ class Cluster:
             moved=report.moved_shares,
             leftover=removed.used,
         )
+        sink = obs.sink()
+        if sink.enabled:
+            obs.metrics().counter("cluster.devices_removed").add(1)
+            sink.emit(
+                "device.removed",
+                device=device_id,
+                moved=report.moved_shares,
+                leftover=removed.used,
+            )
         return report
 
     def _rebalance(
@@ -453,6 +477,20 @@ class Cluster:
             if used_override is not None
             else self._map.share_count(affected)
         )
+        sink = obs.sink()
+        if sink.enabled:
+            registry = obs.metrics()
+            registry.counter("cluster.moved_shares").add(moved)
+            registry.counter("cluster.rebuilt_shares").add(rebuilt)
+            sink.emit(
+                "cluster.migration",
+                trigger=trigger,
+                device=affected,
+                moved=moved,
+                rebuilt=rebuilt,
+                total=total,
+                used=used,
+            )
         return MigrationReport(
             trigger=trigger,
             device_id=affected,
@@ -490,6 +528,10 @@ class Cluster:
         """
         self.device(device_id).fail()
         self._log.record("device-failed", device=device_id)
+        sink = obs.sink()
+        if sink.enabled:
+            obs.metrics().counter("cluster.devices_failed").add(1)
+            sink.emit("device.failed", device=device_id)
 
     def repair_device(self, device_id: str) -> int:
         """Replace a failed device and rebuild its shares from redundancy.
@@ -513,6 +555,12 @@ class Cluster:
             device.store((address, position), payload)
             rebuilt += 1
         self._log.record("device-repaired", device=device_id, rebuilt=rebuilt)
+        sink = obs.sink()
+        if sink.enabled:
+            registry = obs.metrics()
+            registry.counter("cluster.devices_repaired").add(1)
+            registry.counter("cluster.rebuilt_shares").add(rebuilt)
+            sink.emit("device.repaired", device=device_id, rebuilt=rebuilt)
         return rebuilt
 
     # ------------------------------------------------------------------

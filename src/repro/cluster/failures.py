@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from .. import obs
 from ..exceptions import DecodingError
 from ..hashing.primitives import stable_u64
 from .cluster import Cluster
@@ -84,6 +85,19 @@ class FailureInjector:
         if repair:
             for victim in victims:
                 rebuilt += cluster.repair_device(victim)
+        sink = obs.sink()
+        if sink.enabled:
+            registry = obs.metrics()
+            registry.counter("failure.rounds").add(1)
+            registry.counter("failure.blocks_lost").add(lost)
+            sink.emit(
+                "failure.round",
+                round=self._round,
+                victims=list(victims),
+                readable=readable,
+                lost=lost,
+                rebuilt=rebuilt,
+            )
         return FailureReport(
             failed=victims,
             readable_blocks=readable,

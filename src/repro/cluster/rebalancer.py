@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from .. import obs
 from .cluster import Cluster
 
 
@@ -56,6 +57,9 @@ class Rebalancer:
         self._cluster = cluster
         self._backlog: List[int] = cluster.out_of_place()
         self._progress = RebalanceProgress(total_blocks=len(self._backlog))
+        sink = obs.sink()
+        if sink.enabled:
+            sink.emit("rebalance.start", backlog=len(self._backlog))
 
     @property
     def progress(self) -> RebalanceProgress:
@@ -83,6 +87,7 @@ class Rebalancer:
         del self._backlog[-len(chunk):]
         targets = self._cluster.strategy.place_many(chunk).tuples()
         migrated = 0
+        moved_shares = 0
         # Pop order (end of the backlog first) is preserved.
         for address, target in zip(reversed(chunk), reversed(targets)):
             try:
@@ -93,7 +98,28 @@ class Rebalancer:
                 continue
             self._progress.migrated_blocks += 1
             self._progress.moved_shares += moved
+            moved_shares += moved
             migrated += 1
+        sink = obs.sink()
+        if sink.enabled:
+            registry = obs.metrics()
+            registry.counter("rebalance.steps").add(1)
+            registry.counter("rebalance.migrated_blocks").add(migrated)
+            registry.counter("rebalance.moved_shares").add(moved_shares)
+            registry.histogram("rebalance.step_blocks").observe(len(chunk))
+            sink.emit(
+                "rebalance.step",
+                chunk=len(chunk),
+                migrated=migrated,
+                moved_shares=moved_shares,
+                remaining=self._progress.remaining,
+            )
+            if self._progress.done:
+                sink.emit(
+                    "rebalance.done",
+                    migrated=self._progress.migrated_blocks,
+                    moved_shares=self._progress.moved_shares,
+                )
         return migrated
 
     def run_to_completion(self, step_size: int = 100) -> RebalanceProgress:

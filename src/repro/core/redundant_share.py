@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from .._compat import get_numpy
 from ..capacity.clipping import clip_capacities, is_capacity_efficient
 from ..exceptions import InfeasibleReplicationError
@@ -35,7 +36,7 @@ from ..hashing.primitives import (
     splitmix64_array,
     unit_from_base,
 )
-from ..placement.base import BatchPlacement, ReplicationStrategy
+from ..placement.base import BatchPlacement, ReplicationStrategy, record_batch
 from ..types import BinSpec, Placement, sort_bins_by_capacity
 from .preprocess import HazardTable, compute_hazards
 
@@ -161,6 +162,10 @@ class RedundantShare(ReplicationStrategy):
             if len(self._walk_cache) >= _WALK_CACHE_SIZE:
                 self._walk_cache.pop(next(iter(self._walk_cache)))
             self._walk_cache[address] = ranks
+            if obs.sink().enabled:
+                obs.metrics().counter("placement.walk_cache.misses").add(1)
+        elif obs.sink().enabled:
+            obs.metrics().counter("placement.walk_cache.hits").add(1)
         return ranks
 
     def _walk(self, address: int, copies_wanted: int) -> List[str]:
@@ -206,14 +211,49 @@ class RedundantShare(ReplicationStrategy):
         """
         np = get_numpy()
         if np is None:
+            sink = obs.sink()
+            depth_counts: Optional[Dict[int, int]] = (
+                {} if sink.enabled else None
+            )
             columns: List[List[int]] = [[] for _ in range(self._copies)]
             for address in addresses:
-                for position, rank in enumerate(
-                    self._walk_ranks(address, self._copies)
-                ):
+                ranks = self._walk_ranks(address, self._copies)
+                for position, rank in enumerate(ranks):
                     columns[position].append(rank)
+                if depth_counts is not None:
+                    depth = ranks[-1] + 1
+                    depth_counts[depth] = depth_counts.get(depth, 0) + 1
+            if depth_counts is not None:
+                self._record_scan(sink, len(columns[0]), depth_counts)
             return BatchPlacement(self._rank_ids, columns)
         return self._place_many_np(np, addresses)
+
+    def _record_scan(
+        self, sink, batch_size: int, depth_counts: Dict[int, int]
+    ) -> None:
+        """Record one batch hazard scan on an enabled sink.
+
+        ``depth_counts`` maps scan depth (ranks visited until the last
+        copy was placed) to the number of addresses with that depth; both
+        engines reduce to this same aggregate, so traces and histograms
+        are identical between the NumPy and pure-Python legs.
+        """
+        record_batch(sink, self.name, self._copies, batch_size)
+        if not depth_counts:
+            return
+        histogram = obs.metrics().histogram("placement.scan_depth")
+        depth_sum = 0
+        for depth in sorted(depth_counts):
+            count = depth_counts[depth]
+            histogram.observe(depth, count)
+            depth_sum += depth * count
+        sink.emit(
+            "placement.scan",
+            strategy=self.name,
+            addresses=batch_size,
+            depth_sum=depth_sum,
+            depth_max=max(depth_counts),
+        )
 
     def _place_many_np(self, np, addresses: Sequence[int]) -> BatchPlacement:
         """The NumPy engine behind :meth:`place_many`."""
@@ -253,11 +293,44 @@ class RedundantShare(ReplicationStrategy):
                 undecided[taken] = False
                 if not undecided.any():
                     break
+        sink = obs.sink()
+        if sink.enabled:
+            # After the last copy, position[j] is exactly the scan depth
+            # (last selected rank + 1) of address j.
+            depth_counts = {
+                int(depth): int(tally)
+                for depth, tally in enumerate(np.bincount(position))
+                if tally
+            }
+            self._record_scan(sink, count, depth_counts)
         return BatchPlacement(self._rank_ids, list(columns))
 
     def primary(self, address: int) -> str:
         """Convenience accessor for the primary copy's bin."""
         return self.place_copy(address, 0)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    #
+    # Strategy instances are immutable configuration snapshots, so the
+    # walk cache can never go stale *within* an instance; reconfiguration
+    # safety relies on callers (``Cluster._rebalance``/``add_device``)
+    # building a fresh instance, which starts with empty caches.  The
+    # regression tests in ``tests/cluster/test_walk_cache_invalidation``
+    # pin that contract; these helpers exist so operational tooling can
+    # audit and (defensively) drop the memo.
+
+    def cache_info(self) -> Dict[str, int]:
+        """Size and bound of the ``place_copy`` walk memo."""
+        return {
+            "entries": len(self._walk_cache),
+            "capacity": _WALK_CACHE_SIZE,
+        }
+
+    def clear_walk_cache(self) -> None:
+        """Drop every memoised walk (placements are recomputed on demand)."""
+        self._walk_cache.clear()
 
 
 class LinMirror(RedundantShare):

@@ -22,21 +22,41 @@ from .redundancy import (
     survivable_failure_count,
     worst_failure_pairs,
 )
+from .stats import (
+    FairnessVerdict,
+    chi_square_fairness,
+    chi_square_quantile,
+    chi_square_sf,
+    fair_copy_shares,
+    max_deviation_fairness,
+    normal_quantile,
+    normal_sf,
+    sample_copy_counts,
+)
 
 __all__ = [
+    "FairnessVerdict",
     "MovementReport",
+    "chi_square_fairness",
+    "chi_square_quantile",
+    "chi_square_sf",
     "chi_square_statistic",
     "compare_strategies",
     "count_copies",
     "count_violations",
     "data_loss_fraction",
+    "fair_copy_shares",
     "fill_percentages",
     "gini_coefficient",
     "jain_index",
+    "max_deviation_fairness",
     "max_fill_spread",
     "max_share_deviation",
     "movement_series",
+    "normal_quantile",
+    "normal_sf",
     "optimal_moved_copies",
+    "sample_copy_counts",
     "survivable_failure_count",
     "usage_shares",
     "worst_failure_pairs",

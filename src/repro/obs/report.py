@@ -1,0 +1,84 @@
+"""Render an observability snapshot as a plain-text report.
+
+Consumed by the ``repro stats`` CLI subcommand and handy from a REPL::
+
+    from repro import obs
+    from repro.obs.report import render_report
+
+    with obs.capture() as trace:
+        ...  # run a scenario
+    print(render_report(obs.metrics(), trace))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .metrics import MetricsRegistry
+from .trace import MemorySink
+
+
+def _section(title: str) -> List[str]:
+    return [title, "-" * len(title)]
+
+
+def render_report(
+    registry: MetricsRegistry,
+    trace: Optional[MemorySink] = None,
+    verdicts: Optional[Iterable[object]] = None,
+) -> str:
+    """Format counters, histograms, event counts and fairness verdicts.
+
+    Args:
+        registry: The metrics registry to snapshot.
+        trace: Optional captured event stream (kind counts are shown).
+        verdicts: Optional :class:`~repro.metrics.stats.FairnessVerdict`
+            instances (anything with a ``summary()`` method works).
+    """
+    lines: List[str] = []
+
+    if verdicts is not None:
+        lines += _section("Fairness acceptance")
+        for verdict in verdicts:
+            lines.append("  " + verdict.summary())
+        lines.append("")
+
+    counters = registry.counters()
+    lines += _section("Counters")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    else:
+        lines.append("  (none recorded)")
+    lines.append("")
+
+    histograms = registry.histograms()
+    lines += _section("Histograms")
+    if histograms:
+        for name, histogram in histograms.items():
+            minimum = histogram.minimum
+            maximum = histogram.maximum
+            lines.append(
+                f"  {name}: n={histogram.count} mean={histogram.mean:.2f}"
+                f" min={minimum if minimum is not None else '-'}"
+                f" max={maximum if maximum is not None else '-'}"
+                f" p50={histogram.quantile(0.5)}"
+                f" p99={histogram.quantile(0.99)}"
+            )
+    else:
+        lines.append("  (none recorded)")
+    lines.append("")
+
+    if trace is not None:
+        lines += _section("Trace events")
+        kinds = trace.kinds()
+        if kinds:
+            width = max(len(kind) for kind in kinds)
+            for kind in sorted(kinds):
+                lines.append(f"  {kind:<{width}}  {kinds[kind]}")
+        else:
+            lines.append("  (no events captured)")
+        lines.append("")
+
+    return "\n".join(lines)

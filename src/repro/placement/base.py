@@ -23,9 +23,31 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from .. import obs
 from .._compat import get_numpy
 from ..exceptions import ConfigurationError
 from ..types import BinSpec, Placement, validate_bins
+
+
+def record_batch(
+    sink: "obs.TraceSink", strategy_name: str, copies: int, batch_size: int
+) -> None:
+    """Record one ``place_many`` invocation on an *enabled* sink.
+
+    Shared by the default loop and the strategies' vectorized overrides so
+    the ``placement.batch`` event schema stays identical across engines
+    (the pure-Python/NumPy equivalence tests compare traces byte-wise).
+    """
+    registry = obs.metrics()
+    registry.counter("placement.batches").add(1)
+    registry.counter("placement.addresses").add(batch_size)
+    registry.histogram("placement.batch_size").observe(batch_size)
+    sink.emit(
+        "placement.batch",
+        strategy=strategy_name,
+        copies=copies,
+        addresses=batch_size,
+    )
 
 
 class BatchPlacement:
@@ -226,6 +248,9 @@ class ReplicationStrategy(abc.ABC):
         for address in addresses:
             for position, bin_id in enumerate(place(address)):
                 columns[position].append(index[bin_id])
+        sink = obs.sink()
+        if sink.enabled:
+            record_batch(sink, self.name, self._copies, len(columns[0]))
         np = get_numpy()
         if np is not None:
             return BatchPlacement(

@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from .. import obs
+
 Action = Callable[[], None]
 
 
@@ -78,6 +80,12 @@ class Simulator:
         """Execute the next event; False if the queue is empty."""
         if not self._queue:
             return False
+        if obs.sink().enabled:
+            # Queue depth *including* the event about to run — the
+            # per-tick backlog the heavy-traffic benches watch.
+            registry = obs.metrics()
+            registry.histogram("sim.queue_depth").observe(len(self._queue))
+            registry.counter("sim.events").add(1)
         time, _, action = heapq.heappop(self._queue)
         self._now = time
         action()
@@ -86,6 +94,7 @@ class Simulator:
 
     def run(self, until: Optional[float] = None) -> None:
         """Run events until the queue empties or ``until`` is reached."""
+        processed_before = self._processed
         while self._queue:
             time = self._queue[0][0]
             if until is not None and time > until:
@@ -93,6 +102,14 @@ class Simulator:
             self.step()
         if until is not None and (not self._queue or self._queue[0][0] > until):
             self._now = max(self._now, until)
+        sink = obs.sink()
+        if sink.enabled:
+            sink.emit(
+                "sim.run",
+                processed=self._processed - processed_before,
+                now=self._now,
+                pending=len(self._queue),
+            )
 
     def pending(self) -> int:
         """Number of scheduled events not yet run."""

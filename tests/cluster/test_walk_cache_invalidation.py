@@ -1,0 +1,135 @@
+"""Walk-cache freshness across cluster membership and capacity changes.
+
+``RedundantShare.place_copy`` memoizes full walk orders per address.  The
+cache is safe only because strategies are immutable snapshots: every
+cluster reconfiguration (add, remove, capacity change via re-add) must
+swap in a *new* strategy instance rather than mutate the old one, or
+``place_copy`` would keep serving walks over a dead bin vector.  These
+tests pin that contract from the outside: warm the caches hard, mutate
+the cluster, and require placements identical to a cold instance.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import LinMirror, RedundantShare
+from repro.types import BinSpec, bins_from_capacities
+
+ADDRESSES = range(120)
+
+
+def make_cluster(copies=2):
+    bins = bins_from_capacities([50, 40, 30, 20], prefix="dev")
+    return Cluster(bins, lambda b: RedundantShare(b, copies=copies))
+
+
+def warm(strategy, copies):
+    """Drive every address through the per-address walk cache."""
+    for address in ADDRESSES:
+        for position in range(copies):
+            strategy.place_copy(address, position)
+    return strategy
+
+
+def assert_matches_cold_instance(strategy):
+    """The (possibly cache-warm) strategy must agree with a cold clone."""
+    cold = RedundantShare(strategy.ordered_bins, copies=strategy.copies)
+    for address in ADDRESSES:
+        assert strategy.place(address) == cold.place(address)
+        for position in range(strategy.copies):
+            assert strategy.place_copy(address, position) == cold.place_copy(
+                address, position
+            )
+
+
+class TestReconfigurationInvalidates:
+    def test_add_device_swaps_the_strategy_instance(self):
+        cluster = make_cluster()
+        stale = warm(cluster.strategy, cluster.strategy.copies)
+        assert stale.cache_info()["entries"] == len(ADDRESSES)
+        cluster.add_device(BinSpec("dev-9", 60))
+        assert cluster.strategy is not stale
+        assert cluster.strategy.cache_info()["entries"] == 0
+        assert "dev-9" in {spec.bin_id for spec in cluster.strategy.ordered_bins}
+        assert_matches_cold_instance(cluster.strategy)
+
+    def test_remove_device_swaps_the_strategy_instance(self):
+        cluster = make_cluster()
+        for address in range(20):
+            cluster.write(address, b"x")
+        stale = warm(cluster.strategy, cluster.strategy.copies)
+        cluster.remove_device("dev-1")
+        assert cluster.strategy is not stale
+        assert "dev-1" not in {
+            spec.bin_id for spec in cluster.strategy.ordered_bins
+        }
+        assert_matches_cold_instance(cluster.strategy)
+
+    def test_capacity_change_via_readd_uses_fresh_walks(self):
+        cluster = make_cluster()
+        warm(cluster.strategy, cluster.strategy.copies)
+        before = {
+            address: cluster.strategy.place(address) for address in ADDRESSES
+        }
+        cluster.remove_device("dev-0")
+        # Same id, very different capacity: any stale per-address walk
+        # would reproduce the old ordering.
+        cluster.add_device(BinSpec("dev-0", 5))
+        warm(cluster.strategy, cluster.strategy.copies)
+        assert_matches_cold_instance(cluster.strategy)
+        changed = sum(
+            1
+            for address in ADDRESSES
+            if cluster.strategy.place(address) != before[address]
+        )
+        assert changed > 0  # the shrink must actually reshuffle something
+
+    def test_cluster_placements_stay_readable_after_churn(self):
+        cluster = make_cluster()
+        payloads = {address: bytes([address % 256]) * 3 for address in range(40)}
+        for address, payload in payloads.items():
+            cluster.write(address, payload)
+        warm(cluster.strategy, cluster.strategy.copies)
+        cluster.add_device(BinSpec("dev-8", 70))
+        cluster.remove_device("dev-2")
+        warm(cluster.strategy, cluster.strategy.copies)
+        for address, payload in payloads.items():
+            assert cluster.read(address) == payload
+        cluster.verify()
+
+
+class TestCacheApi:
+    def test_cache_info_reports_fill_and_capacity(self):
+        strategy = RedundantShare(bins_from_capacities([4, 3, 2]), copies=2)
+        info = strategy.cache_info()
+        assert info["entries"] == 0
+        assert info["capacity"] > 0
+        warm(strategy, 2)
+        assert strategy.cache_info()["entries"] == len(ADDRESSES)
+
+    def test_clear_walk_cache_preserves_placements(self):
+        strategy = LinMirror(bins_from_capacities([5, 4, 3]))
+        warm(strategy, 2)
+        before = [
+            strategy.place_copy(address, 1) for address in ADDRESSES
+        ]
+        strategy.clear_walk_cache()
+        assert strategy.cache_info()["entries"] == 0
+        after = [strategy.place_copy(address, 1) for address in ADDRESSES]
+        assert after == before
+
+    def test_cache_is_bounded(self):
+        strategy = RedundantShare(bins_from_capacities([4, 3, 2]), copies=2)
+        capacity = strategy.cache_info()["capacity"]
+        for address in range(capacity + 50):
+            strategy.place_copy(address, 0)
+        assert strategy.cache_info()["entries"] <= capacity
+
+    def test_place_copy_agrees_with_place_despite_cache(self):
+        strategy = RedundantShare(
+            bins_from_capacities([9, 7, 5, 3, 1]), copies=3
+        )
+        for address in ADDRESSES:
+            placement = strategy.place(address)
+            walked = [strategy.place_copy(address, p) for p in range(3)]
+            assert tuple(walked) == placement

@@ -3,7 +3,11 @@
 * default — CI-friendly example counts (each test sets its own).
 * thorough — run with ``--hypothesis-profile=thorough`` for a deeper
   property sweep (e.g. before a release).
+* ci — derandomized for reproducible CI runs; selected automatically
+  when ``HYPOTHESIS_PROFILE=ci`` is set (the workflow does this).
 """
+
+import os
 
 from hypothesis import HealthCheck, settings
 
@@ -13,3 +17,14 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

@@ -1,0 +1,107 @@
+"""Property tests pinning Lemma 2.4's quantitative waste on [2, 1, 1].
+
+The paper's Figure 1 example: two copies over capacities ``[2, 1, 1]``.
+A fair strategy gives the big bin half of all copies.  The trivial
+strategy — k independent fair single-copy draws with collision
+resampling — misses the big bin with probability 1/6 per ball, leaving
+it only 5/12 of the copies and wasting 1/6 of its capacity.  Redundant
+Share places a copy on the big bin for *every* ball (its clipped hazard
+is 1.0), so it is exactly fair.
+
+Both facts must hold for every seed, not a lucky one: the chi-square
+acceptance test accepts Redundant Share and rejects the trivial strategy
+across the whole seed range at alpha = 0.01.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RedundantShare
+from repro.metrics.stats import (
+    chi_square_fairness,
+    fair_copy_shares,
+    max_deviation_fairness,
+    sample_copy_counts,
+)
+from repro.placement import TrivialReplication
+from repro.types import bins_from_capacities
+
+CAPACITIES = [2, 1, 1]
+COPIES = 2
+ALPHA = 0.01
+
+seeds = st.integers(min_value=0, max_value=63)
+ball_counts = st.sampled_from([2000, 5000])
+
+
+def lemma_example(strategy_cls):
+    bins = bins_from_capacities(CAPACITIES, prefix="bin")
+    return strategy_cls(bins, copies=COPIES)
+
+
+def expected_shares():
+    bins = bins_from_capacities(CAPACITIES, prefix="bin")
+    return fair_copy_shares(
+        {spec.bin_id: float(spec.capacity) for spec in bins}, COPIES
+    )
+
+
+class TestRedundantShareIsFair:
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_chi_square_accepts(self, seed, balls):
+        counts = sample_copy_counts(lemma_example(RedundantShare), balls, seed=seed)
+        verdict = chi_square_fairness(counts, expected_shares(), alpha=ALPHA)
+        assert verdict.accepted, verdict.summary()
+
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_max_deviation_accepts(self, seed, balls):
+        counts = sample_copy_counts(lemma_example(RedundantShare), balls, seed=seed)
+        verdict = max_deviation_fairness(counts, expected_shares(), alpha=ALPHA)
+        assert verdict.accepted, verdict.summary()
+
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=10, deadline=None)
+    def test_big_bin_share_is_exactly_half(self, seed, balls):
+        # Lemma 2.1/2.4: the clipped hazard of the big bin is 1.0, so it
+        # receives a copy of *every* ball — fairness is deterministic,
+        # not merely statistical.
+        counts = sample_copy_counts(lemma_example(RedundantShare), balls, seed=seed)
+        assert counts["bin-0"] == balls
+
+
+class TestTrivialStrategyWastesTheBigBin:
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_chi_square_rejects(self, seed, balls):
+        counts = sample_copy_counts(
+            lemma_example(TrivialReplication), balls, seed=seed
+        )
+        verdict = chi_square_fairness(counts, expected_shares(), alpha=ALPHA)
+        assert not verdict.accepted, verdict.summary()
+
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_max_deviation_rejects(self, seed, balls):
+        counts = sample_copy_counts(
+            lemma_example(TrivialReplication), balls, seed=seed
+        )
+        verdict = max_deviation_fairness(counts, expected_shares(), alpha=ALPHA)
+        assert not verdict.accepted, verdict.summary()
+
+    @given(seed=seeds, balls=ball_counts)
+    @settings(max_examples=20, deadline=None)
+    def test_big_bin_miss_probability_is_one_sixth(self, seed, balls):
+        # The quantitative content of Lemma 2.4: both copies land among
+        # the small bins with probability (1/2)(1/3) + (1/4)(2/3) = 1/6,
+        # so the big bin's copy share is 5/12 instead of the fair 1/2.
+        counts = sample_copy_counts(
+            lemma_example(TrivialReplication), balls, seed=seed
+        )
+        miss_rate = 1.0 - counts["bin-0"] / balls
+        tolerance = 4.0 * math.sqrt((1 / 6) * (5 / 6) / balls)
+        assert abs(miss_rate - 1 / 6) < tolerance, miss_rate
+        big_share = counts["bin-0"] / (balls * COPIES)
+        assert abs(big_share - 5 / 12) < tolerance / COPIES

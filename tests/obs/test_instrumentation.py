@@ -1,0 +1,193 @@
+"""Instrumented hot paths: events flow when enabled, nothing when not.
+
+Covers the tentpole's instrumentation points: batch placement and the
+hazard-scan depth, rebalancer drains, cluster device transitions, failure
+rounds and the simulator's per-tick queue depth.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cluster import Cluster, FailureInjector, Rebalancer
+from repro.core import LinMirror, RedundantShare
+from repro.placement import TrivialReplication
+from repro.simulation import Simulator
+from repro.types import BinSpec, bins_from_capacities
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+def small_cluster(copies=2, capacities=(120, 100, 80, 60)):
+    bins = bins_from_capacities(list(capacities), prefix="dev")
+    return Cluster(bins, lambda b: RedundantShare(b, copies=copies))
+
+
+class TestZeroWhenDisabled:
+    def test_null_sink_records_no_metrics_or_events(self):
+        strategy = RedundantShare(
+            bins_from_capacities([5, 4, 3, 2]), copies=2
+        )
+        strategy.place_many(range(256))
+        cluster = small_cluster()
+        for address in range(16):
+            cluster.write(address, b"p")
+        cluster.add_device(BinSpec("dev-new", 90))
+        cluster.fail_device("dev-new")
+        cluster.repair_device("dev-new")
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert obs.metrics().snapshot() == {"counters": {}, "histograms": {}}
+
+
+class TestPlacementInstrumentation:
+    def test_batch_event_and_counters(self):
+        strategy = RedundantShare(
+            bins_from_capacities([5, 4, 3, 2]), copies=3
+        )
+        with obs.capture() as trace:
+            strategy.place_many(range(500))
+            strategy.place_many(range(500, 700))
+        batches = trace.of_kind("placement.batch")
+        assert [event.fields["addresses"] for event in batches] == [500, 200]
+        assert batches[0].fields["strategy"] == "redundant-share"
+        assert batches[0].fields["copies"] == 3
+        counters = obs.metrics().counters()
+        assert counters["placement.batches"] == 2
+        assert counters["placement.addresses"] == 700
+        histogram = obs.metrics().histogram("placement.batch_size")
+        assert histogram.count == 2
+
+    def test_scan_depth_histogram_matches_scalar_walks(self):
+        strategy = RedundantShare(
+            bins_from_capacities([5, 4, 3, 2, 1]), copies=2
+        )
+        population = range(300)
+        expected_depths = [
+            strategy._walk_ranks(address, 2)[-1] + 1 for address in population
+        ]
+        with obs.capture() as trace:
+            strategy.place_many(population)
+        scan = trace.of_kind("placement.scan")[0]
+        assert scan.fields["addresses"] == 300
+        assert scan.fields["depth_sum"] == sum(expected_depths)
+        assert scan.fields["depth_max"] == max(expected_depths)
+        histogram = obs.metrics().histogram("placement.scan_depth")
+        assert histogram.count == 300
+        assert histogram.total == sum(expected_depths)
+
+    def test_default_loop_strategies_emit_batch_events_too(self):
+        strategy = TrivialReplication(
+            bins_from_capacities([3, 2, 1]), copies=2
+        )
+        with obs.capture() as trace:
+            strategy.place_many(range(50))
+        assert trace.of_kind("placement.batch")[0].fields == {
+            "strategy": "trivial",
+            "copies": 2,
+            "addresses": 50,
+        }
+
+    def test_empty_batch_emits_no_scan_event(self):
+        strategy = LinMirror(bins_from_capacities([3, 2, 1]))
+        with obs.capture() as trace:
+            strategy.place_many([])
+        assert trace.of_kind("placement.scan") == []
+        assert trace.of_kind("placement.batch")[0].fields["addresses"] == 0
+
+    def test_walk_cache_hit_and_miss_counters(self):
+        strategy = LinMirror(bins_from_capacities([4, 3, 2]))
+        with obs.capture():
+            strategy.place_copy(1, 0)
+            strategy.place_copy(1, 1)  # same walk, cached
+            strategy.place_copy(2, 0)
+        counters = obs.metrics().counters()
+        assert counters["placement.walk_cache.misses"] == 2
+        assert counters["placement.walk_cache.hits"] == 1
+
+
+class TestClusterInstrumentation:
+    def test_device_lifecycle_events(self):
+        with obs.capture() as trace:
+            cluster = small_cluster()
+            for address in range(20):
+                cluster.write(address, bytes([address]))
+            cluster.add_device(BinSpec("dev-9", 110))
+            cluster.fail_device("dev-9")
+            cluster.repair_device("dev-9")
+            cluster.remove_device("dev-0")
+        kinds = trace.kinds()
+        assert kinds["cluster.created"] == 1
+        assert kinds["device.added"] == 1
+        assert kinds["device.failed"] == 1
+        assert kinds["device.repaired"] == 1
+        assert kinds["device.removed"] == 1
+        assert kinds["cluster.migration"] == 2  # the add and the remove
+        added = trace.of_kind("device.added")[0].fields
+        assert added["device"] == "dev-9"
+        assert added["rebalance"] is True
+        migration = trace.of_kind("cluster.migration")[0].fields
+        assert migration["trigger"] == "add"
+        assert migration["moved"] == added["moved"]
+        counters = obs.metrics().counters()
+        assert counters["cluster.devices_added"] == 1
+        assert counters["cluster.devices_removed"] == 1
+        assert counters["cluster.devices_failed"] == 1
+        assert counters["cluster.devices_repaired"] == 1
+
+    def test_failure_round_event(self):
+        cluster = small_cluster()
+        for address in range(12):
+            cluster.write(address, b"zz")
+        with obs.capture() as trace:
+            report = FailureInjector(seed=3).crash(cluster, 1)
+        event = trace.of_kind("failure.round")[0].fields
+        assert event["victims"] == report.failed
+        assert event["readable"] == report.readable_blocks
+        assert event["lost"] == report.lost_blocks
+        assert event["rebuilt"] == report.rebuilt_shares
+        assert obs.metrics().counters()["failure.rounds"] == 1
+
+
+class TestRebalancerInstrumentation:
+    def test_start_step_done_events_and_counters(self):
+        cluster = small_cluster()
+        for address in range(40):
+            cluster.write(address, b"b")
+        cluster.add_device(BinSpec("dev-9", 150), rebalance=False)
+        with obs.capture() as trace:
+            rebalancer = Rebalancer(cluster)
+            progress = rebalancer.run_to_completion(step_size=8)
+        start = trace.of_kind("rebalance.start")[0].fields
+        assert start["backlog"] == progress.total_blocks
+        steps = trace.of_kind("rebalance.step")
+        assert sum(event.fields["migrated"] for event in steps) <= progress.total_blocks
+        assert steps[-1].fields["remaining"] == 0
+        done = trace.of_kind("rebalance.done")[0].fields
+        assert done["moved_shares"] == progress.moved_shares
+        counters = obs.metrics().counters()
+        assert counters["rebalance.moved_shares"] == progress.moved_shares
+        assert counters["rebalance.migrated_blocks"] == progress.migrated_blocks
+        # Each migrate_block feeds the cluster-level counter too.
+        assert counters["cluster.moved_shares"] == progress.moved_shares
+
+
+class TestSimulatorInstrumentation:
+    def test_queue_depth_histogram_and_run_event(self):
+        simulator = Simulator()
+        with obs.capture() as trace:
+            simulator.schedule_many((float(i), lambda: None) for i in range(5))
+            simulator.run()
+        histogram = obs.metrics().histogram("sim.queue_depth")
+        assert histogram.count == 5
+        assert histogram.maximum == 5  # first tick sees the full queue
+        assert histogram.minimum == 1
+        run = trace.of_kind("sim.run")[0].fields
+        assert run["processed"] == 5
+        assert run["pending"] == 0
+        assert obs.metrics().counters()["sim.events"] == 5

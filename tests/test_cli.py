@@ -66,3 +66,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "8 Disks" in out
         assert "spread" in out
+
+    def test_stats(self, capsys):
+        assert main(
+            ["stats", "--capacities", "2,1,1", "--balls", "4000",
+             "--blocks", "60"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chi-square: ACCEPT" in out
+        assert "max-deviation: ACCEPT" in out
+        assert "Counters" in out
+        assert "rebalance.moved_shares" in out
+        assert "Trace events" in out
+
+    def test_stats_strict_rejects_trivial(self, capsys):
+        assert main(
+            ["stats", "--capacities", "2,1,1", "--strategy", "trivial",
+             "--balls", "4000", "--no-exercise", "--strict"]
+        ) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_stats_jsonl_export(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["stats", "--capacities", "4,3,2", "--balls", "2000",
+             "--blocks", "40", "--jsonl", path]
+        ) == 0
+        kinds = {record["kind"] for record in read_jsonl(path)}
+        assert "placement.batch" in kinds
+        assert "rebalance.done" in kinds
+        assert "failure.round" in kinds
