@@ -1,52 +1,65 @@
 """Batch placement throughput — the perf trajectory's anchor table.
 
 Measures addresses/second for the scalar ``place`` loop vs. the batch
-``place_many`` engine, per strategy, on the paper's heterogeneous
-12-disk configuration, and writes the machine-readable result to
-``BENCH_placement.json`` at the repository root so future changes have a
-trajectory to compare against.
+``place_many`` engine for **every strategy in the placement registry**,
+on the paper's heterogeneous 12-disk configuration.  The
+machine-readable result goes to ``BENCH_placement.json`` (latest run)
+and a timestamped record is appended to ``BENCH_history.jsonl`` so the
+trajectory across commits is queryable, not just the endpoint.
 
-Headline assertion: with NumPy installed, the vectorized Algorithm 2/4
-scan must place a ≥100k-address batch at least 10x faster than the
-scalar loop for ``RedundantShare(k=3)``.  Without NumPy the fallback is
-the scalar loop itself, so only equivalence (not speedup) is asserted.
+Headline assertions (NumPy installed, full scale): ``RedundantShare``,
+``FastRedundantShare`` and ``TrivialReplication`` at k = 3 must place a
+≥100k-address batch at least 10x faster than the scalar loop.  At any
+scale, a registry entry flagged ``vectorized`` must never lose to the
+scalar loop — a speedup below 1x is the regression this table exists to
+catch, and it both warns loudly and fails.
+
+``REPRO_BENCH_ADDRESSES`` scales the population down for smoke runs
+(CI uses 20000); the 10x headline is only asserted at full scale.
+Without NumPy the batch engines fall back to the scalar loop, so only
+equivalence (not speedup) is asserted.
 """
 
 import json
+import os
 import pathlib
+import sys
 import time
+import warnings
 
 import pytest
 
 from _tables import emit
 from repro._compat import HAVE_NUMPY
-from repro.core import FastRedundantShare, LinMirror, RedundantShare
-from repro.placement import TrivialReplication
+from repro.placement.registry import registered_strategies
 from repro.simulation import heterogeneous_bins
 
-#: ≥100k addresses — the acceptance scale for the 10x headline claim.
-ADDRESSES = 100_000
+#: ≥100k addresses — the acceptance scale for the 10x headline claims.
+ADDRESSES = int(os.environ.get("REPRO_BENCH_ADDRESSES", "") or 100_000)
 #: Baselines without a vectorized engine get a smaller population so the
 #: table stays cheap to regenerate; their speedup is ~1x by construction.
-LOOP_ADDRESSES = 20_000
+LOOP_ADDRESSES = min(20_000, ADDRESSES)
+#: Replication degree for strategies that honour ``copies``.
+COPIES = 3
 
-OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_placement.json"
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_placement.json"
+HISTORY = ROOT / "BENCH_history.jsonl"
 
-STRATEGIES = (
-    ("redundant-share-k3", lambda bins: RedundantShare(bins, copies=3), ADDRESSES),
-    ("lin-mirror", lambda bins: LinMirror(bins), ADDRESSES),
-    (
-        "fast-redundant-share-k3",
-        lambda bins: FastRedundantShare(bins, copies=3),
-        LOOP_ADDRESSES,
-    ),
-    ("trivial-k3", lambda bins: TrivialReplication(bins, copies=3), LOOP_ADDRESSES),
-)
+#: Strategies whose batch engine must clear 10x at full scale.
+HEADLINE = ("redundant-share-k3", "fast-redundant-share-k3", "trivial-k3")
 
 
-def measure(factory, addresses):
+def _row_name(entry):
+    if entry.fixed_copies is not None:
+        return entry.name
+    return f"{entry.name}-k{COPIES}"
+
+
+def measure(entry):
     """Time the scalar loop and the batch engine over the same addresses."""
-    strategy = factory(heterogeneous_bins(12))
+    addresses = ADDRESSES if entry.vectorized else LOOP_ADDRESSES
+    strategy = entry.build(heterogeneous_bins(12), COPIES)
     population = list(range(addresses))
     start = time.perf_counter()
     scalar = [strategy.place(address) for address in population]
@@ -55,9 +68,13 @@ def measure(factory, addresses):
     start = time.perf_counter()
     batch = strategy.place_many(population)
     batch_seconds = time.perf_counter() - start
-    assert batch.tuples() == scalar, "batch engine diverged from scalar scan"
+    assert batch.tuples() == scalar, (
+        f"{entry.name}: batch engine diverged from scalar scan"
+    )
     return {
         "addresses": addresses,
+        "copies": entry.effective_copies(COPIES),
+        "vectorized": entry.vectorized,
         "scalar_per_sec": round(addresses / scalar_seconds),
         "batch_per_sec": round(addresses / batch_seconds),
         "speedup": round(scalar_seconds / batch_seconds, 2),
@@ -65,12 +82,12 @@ def measure(factory, addresses):
 
 
 def test_batch_throughput_table(benchmark):
-    """Regenerates BENCH_placement.json and asserts the 10x headline."""
+    """Regenerates BENCH_placement.json and asserts the speedup gates."""
 
     def experiment():
         return {
-            name: measure(factory, addresses)
-            for name, factory, addresses in STRATEGIES
+            _row_name(entry): measure(entry)
+            for entry in registered_strategies()
         }
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -96,14 +113,35 @@ def test_batch_throughput_table(benchmark):
         "strategies": results,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    record = dict(payload, timestamp=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    with HISTORY.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     for name, row in results.items():
         benchmark.extra_info[f"{name}_speedup"] = row["speedup"]
     benchmark.extra_info["numpy"] = HAVE_NUMPY
 
-    if HAVE_NUMPY:
-        headline = results["redundant-share-k3"]
-        assert headline["addresses"] >= 100_000
-        assert headline["speedup"] >= 10.0, (
-            f"vectorized scan only {headline['speedup']}x faster"
-        )
+    if not HAVE_NUMPY:
+        return
+
+    regressions = []
+    for name, row in results.items():
+        if row["vectorized"] and row["speedup"] < 1.0:
+            regressions.append(name)
+            message = (
+                f"PERF REGRESSION: {name} batch engine is SLOWER than the "
+                f"scalar loop ({row['speedup']:.2f}x at "
+                f"{row['addresses']} addresses)"
+            )
+            warnings.warn(message, stacklevel=2)
+            print(f"\n*** {message} ***", file=sys.stderr)
+    assert not regressions, (
+        f"vectorized strategies lost to the scalar loop: {regressions}"
+    )
+
+    if ADDRESSES >= 100_000:
+        for name in HEADLINE:
+            row = results[name]
+            assert row["speedup"] >= 10.0, (
+                f"{name}: vectorized engine only {row['speedup']}x faster"
+            )

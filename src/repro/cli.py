@@ -17,11 +17,10 @@ from collections import Counter
 from typing import List, Sequence
 
 from .capacity import clip_capacities, is_capacity_efficient, max_balls
-from .core import FastRedundantShare, RedundantShare
+from .core import RedundantShare
 from .placement import (
-    CrushStrategy,
-    TrivialReplication,
-    WeightedStripingStrategy,
+    build_strategy,
+    strategy_names,
     trivial_wasted_fraction,
 )
 from .simulation import add_remove_cases, run_adaptivity
@@ -39,18 +38,12 @@ def _parse_capacities(raw: str) -> List[int]:
 
 
 def _strategy_for(name: str, bins, copies: int):
-    registry = {
-        "redundant-share": lambda: RedundantShare(bins, copies=copies),
-        "fast": lambda: FastRedundantShare(bins, copies=copies),
-        "trivial": lambda: TrivialReplication(bins, copies=copies),
-        "crush": lambda: CrushStrategy(bins, copies=copies),
-        "striping": lambda: WeightedStripingStrategy(bins, copies=copies),
-    }
     try:
-        return registry[name]()
+        return build_strategy(name, bins, copies)
     except KeyError:
         raise SystemExit(
-            f"unknown strategy {name!r}; choose from {sorted(registry)}"
+            f"unknown strategy {name!r}; choose from "
+            f"{sorted(strategy_names(include_aliases=True))}"
         )
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..placement import precompute
 from ..erasure.base import ErasureCode
 from ..erasure.mirror import MirrorCode
 from ..exceptions import (
@@ -116,6 +117,7 @@ class Cluster:
                 missing for some spec.
         """
         self._factory = strategy_factory
+        self._epoch = precompute.bump_epoch()
         self._strategy = strategy_factory(list(devices))
         self._code = code or MirrorCode(self._strategy.copies)
         if self._code.total_shares != self._strategy.copies:
@@ -160,6 +162,31 @@ class Cluster:
     def strategy(self) -> ReplicationStrategy:
         """The current placement strategy snapshot."""
         return self._strategy
+
+    @property
+    def epoch(self) -> int:
+        """Placement epoch the current strategy snapshot was built under.
+
+        Advances on every strategy swap (construction, add/remove device,
+        rebalance, capacity change) and keys the shared precompute cache —
+        see :mod:`repro.placement.precompute`.  State cached for an earlier
+        epoch can never leak into the snapshot built after a swap.
+        """
+        return self._epoch
+
+    def _new_strategy(self) -> ReplicationStrategy:
+        """Build a fresh-epoch strategy snapshot for the current specs.
+
+        The epoch is bumped *before* the factory runs so the instance it
+        builds — and anything it precomputes — belongs to the new epoch.
+        """
+        self._epoch = precompute.bump_epoch()
+        sink = obs.sink()
+        if sink.enabled:
+            obs.metrics().counter("cluster.strategy_swaps").add(1)
+        return self._factory(
+            [self._specs[device_id] for device_id in sorted(self._specs)]
+        )
 
     @property
     def code(self) -> ErasureCode:
@@ -314,9 +341,7 @@ class Cluster:
         if rebalance:
             report = self._rebalance("add", spec.bin_id)
         else:
-            self._strategy = self._factory(
-                [self._specs[device_id] for device_id in sorted(self._specs)]
-            )
+            self._strategy = self._new_strategy()
             report = MigrationReport(
                 trigger="add",
                 device_id=spec.bin_id,
@@ -437,9 +462,7 @@ class Cluster:
         self, trigger: str, affected: str, used_override: Optional[int] = None
     ) -> MigrationReport:
         """Rebuild the strategy and migrate shares whose placement changed."""
-        new_strategy = self._factory(
-            [self._specs[device_id] for device_id in sorted(self._specs)]
-        )
+        new_strategy = self._new_strategy()
         moved = 0
         rebuilt = 0
         total = 0

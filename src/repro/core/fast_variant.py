@@ -24,15 +24,47 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
+from .._compat import get_numpy
 from ..hashing.alias import CumulativeTable
 from ..hashing.primitives import (
+    _INV_2_64,
+    as_u64_array,
     derive_base,
+    splitmix64_array,
     unit_from_base,
     unit_from_base_open,
 )
-from ..placement.base import ReplicationStrategy
+from ..placement.base import BatchPlacement, ReplicationStrategy, record_batch
 from ..types import BinSpec, Placement
+from ..placement import precompute
 from .redundant_share import RedundantShare
+
+
+class _StateBundle:
+    """Shareable precomputed state for one (configuration, epoch) pair.
+
+    Holds the per-(copy, previous rank) conditional tables and salt bases
+    the scalar ``place`` consults, plus the NumPy mirrors the batch engine
+    gathers from.  Bundles live in the epoch-keyed
+    :func:`repro.placement.precompute.shared_cache`, so rebuilding a strategy
+    over an unchanged configuration (benchmark scalar/batch pairs, cold
+    test clones) reuses the tables instead of re-solving them — while a
+    cluster reconfiguration, which advances the epoch, always starts
+    clean.
+    """
+
+    __slots__ = ("tables", "bases", "np_states")
+
+    def __init__(self) -> None:
+        self.tables: Dict[Tuple[int, int], Optional[CumulativeTable]] = {}
+        self.bases: Dict[Tuple[int, int], int] = {}
+        #: (copy, prev) -> (forced_rank, base, cumulative) where a forced
+        #: state has ``forced_rank >= 0`` and no table, and a sampled
+        #: state has ``forced_rank == -1`` plus the uint64 base and the
+        #: float64 boundary array shared bit-for-bit with the scalar
+        #: :class:`CumulativeTable`.
+        self.np_states: Dict[Tuple[int, int], tuple] = {}
 
 
 class FastRedundantShare(ReplicationStrategy):
@@ -87,6 +119,8 @@ class FastRedundantShare(ReplicationStrategy):
             )
         super().__init__(bins, copies, namespace)
         self._state_selector = state_selector
+        self._epoch = precompute.current_epoch()
+        self._precompute: Optional[_StateBundle] = None
         self._share_states: Dict[Tuple[int, int], object] = {}
         # Reuse the scan variant's preprocessing (ordering, clipping,
         # hazard solve); this also guarantees both variants agree.
@@ -146,13 +180,26 @@ class FastRedundantShare(ReplicationStrategy):
         table = self._state_table(copy, previous_rank)
         if table is None:
             return self._forced_rank(copy, previous_rank)
-        base = self._state_bases.get((copy, previous_rank))
-        if base is None:
-            base = self._state_bases[(copy, previous_rank)] = derive_base(
-                self._namespace, "state", copy, anchor
-            )
+        base = self._state_base(copy, previous_rank, anchor)
         draw = unit_from_base(base, address)
         return previous_rank + 1 + table.select(draw)
+
+    def _state_base(
+        self, copy: int, previous_rank: int, anchor: Optional[str] = None
+    ) -> int:
+        """Salt base for the (copy, previous rank) state draw (memoised)."""
+        key = (copy, previous_rank)
+        base = self._state_bases.get(key)
+        if base is None:
+            if anchor is None:
+                anchor = (
+                    "root" if previous_rank < 0
+                    else self._rank_ids[previous_rank]
+                )
+            base = self._state_bases[key] = derive_base(
+                self._namespace, "state", copy, anchor
+            )
+        return base
 
     def _forced_rank(self, copy: int, previous_rank: int) -> int:
         """First rank with positive mass after ``previous_rank``."""
@@ -248,6 +295,130 @@ class FastRedundantShare(ReplicationStrategy):
             previous = self._select(copy, previous, address)
             ranks.append(previous)
         return tuple(self._rank_ids[rank] for rank in ranks)
+
+    # ------------------------------------------------------------------
+    # Batch placement
+    # ------------------------------------------------------------------
+
+    def _ensure_precompute(self) -> _StateBundle:
+        """Attach this instance to its epoch-keyed precompute bundle.
+
+        Consulted once per instance on the first batch call; a hit reuses
+        another instance's state tables for the identical configuration
+        (same fingerprint *and* same placement epoch).  The instance's own
+        lazily-built tables are merged in, and from here on the scalar and
+        batch paths share one table store.
+        """
+        bundle = self._precompute
+        if bundle is not None:
+            return bundle
+        cache = precompute.shared_cache()
+        fingerprint = self._fingerprint()
+        bundle = cache.get(fingerprint, self._epoch)
+        if bundle is None:
+            bundle = cache.put(fingerprint, self._epoch, _StateBundle())
+        bundle.tables.update(self._tables)
+        bundle.bases.update(self._state_bases)
+        self._tables = bundle.tables
+        self._state_bases = bundle.bases
+        self._precompute = bundle
+        return bundle
+
+    def _fingerprint(self) -> tuple:
+        """Everything the state tables depend on, as a hashable key."""
+        return (
+            "fast-redundant-share",
+            self._namespace,
+            self._copies,
+            self._state_selector,
+            tuple(
+                (spec.bin_id, spec.capacity)
+                for spec in self._scan.ordered_bins
+            ),
+        )
+
+    def _place_many_serial(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Batch lookup through the precomputed state tables.
+
+        With NumPy and the default ``"cdf"`` selector the whole batch runs
+        as one SplitMix64 pass plus a ``searchsorted`` gather per visited
+        state — the Section 3.3 O(k) bound per address, element-wise
+        identical to :meth:`place` because both paths compare the very
+        same :class:`CumulativeTable` boundaries.  The ``"rendezvous"``
+        and ``"share"`` selectors score candidates through per-state hash
+        races that the scalar path owns; they keep the generic loop.
+        """
+        if self._state_selector == "cdf":
+            self._ensure_precompute()
+            np = get_numpy()
+            if np is not None:
+                return self._place_many_np(np, addresses)
+        return super()._place_many_serial(addresses)
+
+    def _place_many_np(self, np, addresses: Sequence[int]) -> BatchPlacement:
+        """The NumPy engine: per copy, gather draws grouped by state."""
+        addr = as_u64_array(addresses)
+        count = addr.shape[0]
+        mixed = splitmix64_array(addr)
+        columns = np.empty((self._copies, count), dtype=np.int64)
+        previous = np.full(count, -1, dtype=np.int64)
+        for copy in range(self._copies):
+            out = np.empty(count, dtype=np.int64)
+            for prev in np.unique(previous):
+                prev_rank = int(prev)
+                chosen = np.flatnonzero(previous == prev)
+                forced, base, cumulative = self._np_state(np, copy, prev_rank)
+                if cumulative is None:
+                    out[chosen] = forced
+                else:
+                    state = splitmix64_array(base ^ mixed[chosen])
+                    draws = (
+                        splitmix64_array(state).astype(np.float64) * _INV_2_64
+                    )
+                    out[chosen] = prev_rank + 1 + np.searchsorted(
+                        cumulative, draws, side="right"
+                    )
+            columns[copy] = out
+            previous = out
+        sink = obs.sink()
+        if sink.enabled:
+            record_batch(sink, self.name, self._copies, count)
+        return BatchPlacement(self._rank_ids, list(columns))
+
+    def _np_state(self, np, copy: int, previous_rank: int) -> tuple:
+        """NumPy mirror of one state: forced rank or (base, boundaries).
+
+        Built lazily per state actually visited by a batch (mirroring the
+        scalar laziness) and memoised in the shared bundle, so every
+        instance over the same configuration and epoch gathers from the
+        same arrays.
+        """
+        bundle = self._precompute
+        key = (copy, previous_rank)
+        state = bundle.np_states.get(key)
+        if state is None:
+            table = self._state_table(copy, previous_rank)
+            if table is None:
+                state = (self._forced_rank(copy, previous_rank), None, None)
+            else:
+                base = self._state_base(copy, previous_rank)
+                state = (
+                    -1,
+                    np.uint64(base),
+                    np.asarray(table.boundaries(), dtype=np.float64),
+                )
+            bundle.np_states[key] = state
+        return state
+
+    def cache_info(self) -> Dict[str, int]:
+        """Occupancy of the per-state precompute (scalar + vector)."""
+        bundle = self._precompute
+        return {
+            "state_tables": len(self._tables),
+            "vector_states": len(bundle.np_states) if bundle else 0,
+            "precomputed": int(bundle is not None),
+            "epoch": self._epoch,
+        }
 
     def state_count(self) -> int:
         """Number of state tables materialised so far (for the memory

@@ -137,6 +137,16 @@ class CumulativeTable:
                 lo = mid + 1
         return lo
 
+    def boundaries(self) -> List[float]:
+        """The normalised cumulative boundaries (ascending, ends at 1.0).
+
+        Exposed so vectorized consumers can run :meth:`select` as a batch
+        ``searchsorted`` over *exactly* the floats the scalar binary search
+        compares against — the bit-identity of the two paths depends on
+        sharing these values rather than re-deriving them.
+        """
+        return list(self._cumulative)
+
     def __len__(self) -> int:
         return len(self._cumulative)
 

@@ -44,6 +44,12 @@ from .crush import (
     make_bucket,
     two_level_map,
 )
+from .registry import (
+    StrategyEntry,
+    build_strategy,
+    registered_strategies,
+    strategy_names,
+)
 from .rendezvous import RendezvousPlacer, WeightedRendezvous, make_rendezvous
 from .rush import RushStrategy, SubCluster, rush_from_capacities, rush_tree
 from .share import SharePlacer, default_stretch
@@ -66,6 +72,7 @@ __all__ = [
     "CrushStrategy",
     "ListBucket",
     "RushStrategy",
+    "StrategyEntry",
     "Straw2Bucket",
     "StripingStrategy",
     "TreeBucket",
@@ -84,6 +91,7 @@ __all__ = [
     "SingleCopyPlacer",
     "WeightedPlacer",
     "WeightedRendezvous",
+    "build_strategy",
     "check_placement",
     "default_stretch",
     "make_alias",
@@ -91,8 +99,10 @@ __all__ = [
     "make_rendezvous",
     "make_share",
     "make_ring_placer",
+    "registered_strategies",
     "rush_from_capacities",
     "rush_tree",
+    "strategy_names",
     "trivial_miss_probability",
     "trivial_wasted_fraction",
     "two_level_map",

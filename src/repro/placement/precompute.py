@@ -1,0 +1,132 @@
+"""Epoch-keyed cache of precomputed placement state.
+
+The O(k) variant (Section 3.3) front-loads its cost into per-state
+conditional-distribution tables; building them is O(k·n) work plus one
+hash-base derivation per state.  A process often builds *many* strategy
+instances over the same configuration — every ``Cluster`` reconfiguration
+calls the strategy factory, benchmarks build scalar/batch pairs, tests
+build cold clones — so the tables are worth sharing.
+
+Sharing cached state across *immutable* instances is only safe while the
+configuration world they describe is stable.  The invalidation contract
+mirrors the walk-cache one pinned by
+``tests/cluster/test_walk_cache_invalidation.py``: strategy instances are
+immutable snapshots, and :class:`~repro.cluster.cluster.Cluster` swaps in
+a fresh instance on every reconfiguration.  Each swap advances the global
+*placement epoch* (:func:`bump_epoch`); cache entries are keyed by the
+epoch they were built under, so a strategy built after a swap can never
+see tables from before it — even when the configuration fingerprint is
+identical (e.g. a device removed and re-added with a different capacity
+hiding behind the same id set).
+
+Entries are additionally keyed by a *fingerprint* of everything the
+tables depend on (namespace, replication degree, selector, the ordered
+(id, capacity) vector), so unrelated strategies never collide within an
+epoch.
+
+Instrumented through :mod:`repro.obs` when a sink is enabled:
+``placement.precompute.hits`` / ``placement.precompute.misses`` counters
+and a ``placement.precompute.build`` trace event per rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .. import obs
+
+#: Bounded number of cached fingerprints; FIFO eviction.  Each entry is a
+#: handful of small tables, so the bound exists for hygiene, not memory
+#: pressure.
+_CACHE_CAPACITY = 64
+
+_epoch = 0
+
+
+def current_epoch() -> int:
+    """The global placement epoch (monotonic; advanced by cluster swaps)."""
+    return _epoch
+
+
+def bump_epoch() -> int:
+    """Advance the placement epoch and return the new value.
+
+    Called by :class:`~repro.cluster.cluster.Cluster` whenever it swaps
+    strategy instances (construction, rebalance, lazy add/remove) —
+    entries built under earlier epochs become unreachable, which is the
+    cache-side half of the walk-cache invalidation contract.
+    """
+    global _epoch
+    _epoch += 1
+    return _epoch
+
+
+class PrecomputeCache:
+    """Epoch-checked, fingerprint-keyed store of precomputed state."""
+
+    def __init__(self, capacity: int = _CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._entries: Dict[Hashable, Tuple[int, Any]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, fingerprint: Hashable, epoch: int) -> Optional[Any]:
+        """Return the cached value for ``fingerprint`` at ``epoch``.
+
+        A fingerprint stored under a different epoch is stale: it is
+        evicted and the lookup counts as a miss.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is not None and entry[0] == epoch:
+            self._hits += 1
+            if obs.sink().enabled:
+                obs.metrics().counter("placement.precompute.hits").add(1)
+            return entry[1]
+        if entry is not None:
+            del self._entries[fingerprint]
+        self._misses += 1
+        if obs.sink().enabled:
+            obs.metrics().counter("placement.precompute.misses").add(1)
+        return None
+
+    def put(self, fingerprint: Hashable, epoch: int, value: Any) -> Any:
+        """Store ``value`` for ``fingerprint`` at ``epoch`` (FIFO bound)."""
+        if fingerprint not in self._entries and (
+            len(self._entries) >= self._capacity
+        ):
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[fingerprint] = (epoch, value)
+        sink = obs.sink()
+        if sink.enabled:
+            sink.emit("placement.precompute.build", entries=len(self._entries))
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss totals are preserved)."""
+        self._entries.clear()
+
+    def info(self) -> Dict[str, int]:
+        """Occupancy and lifetime hit/miss totals."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "epoch": _epoch,
+        }
+
+
+#: The process-wide cache shared by every strategy instance.
+_SHARED = PrecomputeCache()
+
+
+def shared_cache() -> PrecomputeCache:
+    """The process-wide precompute cache."""
+    return _SHARED
+
+
+def clear_shared_cache() -> None:
+    """Drop all shared entries — test isolation / operational reset."""
+    _SHARED.clear()

@@ -1,0 +1,156 @@
+"""Name-keyed registry of the batch-placeable replication strategies.
+
+One place that knows how to build every strategy with a uniform
+``(bins, copies)`` constructor shape — the CLI, the throughput bench and
+the perf smoke job all iterate the same table instead of each keeping a
+private (and inevitably diverging) list.  Strategies whose constructors
+need extra topology (RUSH wants sub-clusters, the hierarchical variant
+wants racks) are deliberately absent: they cannot be built from a flat
+bin list.
+
+Each entry records whether the strategy has a *vectorized* ``place_many``
+engine; the bench uses that flag to pick its address population and to
+assert that vectorization never loses to the scalar loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..types import BinSpec
+from .base import ReplicationStrategy
+
+Factory = Callable[[Sequence[BinSpec], int], ReplicationStrategy]
+
+
+@dataclass(frozen=True)
+class StrategyEntry:
+    """How to build one registered strategy and what to expect of it."""
+
+    name: str
+    factory: Factory
+    #: Replication degree baked into the algorithm (LinMirror is k = 2 by
+    #: definition); ``None`` means the ``copies`` argument is honoured.
+    fixed_copies: Optional[int] = None
+    #: True when ``place_many`` runs a NumPy engine rather than the
+    #: generic per-address loop (given NumPy is importable).
+    vectorized: bool = False
+    aliases: Tuple[str, ...] = field(default=())
+
+    def build(
+        self, bins: Sequence[BinSpec], copies: int
+    ) -> ReplicationStrategy:
+        """Instantiate for ``bins``, honouring a fixed replication degree."""
+        return self.factory(bins, self.effective_copies(copies))
+
+    def effective_copies(self, copies: int) -> int:
+        """The replication degree actually used for a requested ``copies``."""
+        return self.fixed_copies if self.fixed_copies is not None else copies
+
+
+def _build_registry() -> Dict[str, StrategyEntry]:
+    # Imported lazily so ``repro.placement`` does not pull in ``repro.core``
+    # at package-import time (core imports placement, not vice versa).
+    from ..core.balanced_rendezvous import BalancedRendezvous
+    from ..core.classic import ClassicLinMirror
+    from ..core.fast_variant import FastRedundantShare
+    from ..core.redundant_share import LinMirror, RedundantShare
+    from .crush import CrushStrategy
+    from .striping import WeightedStripingStrategy
+    from .trivial import TrivialReplication
+
+    entries = [
+        StrategyEntry(
+            "redundant-share",
+            lambda bins, copies: RedundantShare(bins, copies=copies),
+            vectorized=True,
+        ),
+        StrategyEntry(
+            "lin-mirror",
+            lambda bins, copies: LinMirror(bins),
+            fixed_copies=2,
+            vectorized=True,
+        ),
+        StrategyEntry(
+            "fast-redundant-share",
+            lambda bins, copies: FastRedundantShare(bins, copies=copies),
+            vectorized=True,
+            aliases=("fast",),
+        ),
+        StrategyEntry(
+            "trivial",
+            lambda bins, copies: TrivialReplication(bins, copies=copies),
+            vectorized=True,
+        ),
+        StrategyEntry(
+            "classic-lin-mirror",
+            lambda bins, copies: ClassicLinMirror(bins),
+            fixed_copies=2,
+        ),
+        StrategyEntry(
+            "crush",
+            lambda bins, copies: CrushStrategy(bins, copies=copies),
+        ),
+        StrategyEntry(
+            "weighted-striping",
+            lambda bins, copies: WeightedStripingStrategy(bins, copies=copies),
+            aliases=("striping",),
+        ),
+        StrategyEntry(
+            "balanced-rendezvous",
+            lambda bins, copies: BalancedRendezvous(bins, copies=copies),
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
+
+
+_REGISTRY: Optional[Dict[str, StrategyEntry]] = None
+
+
+def registry() -> Dict[str, StrategyEntry]:
+    """The canonical-name → entry table (built on first use, then cached)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def registered_strategies() -> List[StrategyEntry]:
+    """All entries in registration order."""
+    return list(registry().values())
+
+
+def strategy_names(include_aliases: bool = False) -> List[str]:
+    """Accepted names, canonical first, optionally with aliases."""
+    names: List[str] = []
+    for entry in registered_strategies():
+        names.append(entry.name)
+        if include_aliases:
+            names.extend(entry.aliases)
+    return names
+
+
+def lookup(name: str) -> StrategyEntry:
+    """Resolve a canonical name or alias.
+
+    Raises:
+        KeyError: with the list of accepted names when unknown.
+    """
+    table = registry()
+    if name in table:
+        return table[name]
+    for entry in table.values():
+        if name in entry.aliases:
+            return entry
+    raise KeyError(
+        f"unknown strategy {name!r}; choose from "
+        f"{sorted(strategy_names(include_aliases=True))}"
+    )
+
+
+def build_strategy(
+    name: str, bins: Sequence[BinSpec], copies: int
+) -> ReplicationStrategy:
+    """Build the strategy registered under ``name`` (or an alias)."""
+    return lookup(name).build(bins, copies)

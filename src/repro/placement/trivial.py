@@ -25,10 +25,34 @@ import itertools
 import math
 from typing import Dict, List, Sequence
 
-from ..hashing.primitives import derive_base, unit_from_base_open
+from .. import obs
+from .._compat import get_numpy
+from ..hashing.primitives import (
+    _INV_2_64,
+    as_u64_array,
+    derive_base,
+    splitmix64_array,
+    unit_from_base_open,
+)
 from ..types import BinSpec, Placement
-from .base import ReplicationStrategy
+from .base import BatchPlacement, ReplicationStrategy, record_batch
 from .rendezvous import rendezvous_score
+
+#: Relative score margin below which the vectorized engine re-derives an
+#: address with the scalar loop.  NumPy's SIMD ``log`` may differ from
+#: ``math.log`` by 1 ulp (relative score error ~1e-15); any argmax whose
+#: winning margin exceeds this guard is therefore provably identical
+#: under both logs, and the (astronomically rare) closer calls are
+#: settled by the scalar path itself — keeping ``place_many`` bit-exact
+#: without giving up the vectorized bulk.
+_TIE_GUARD = 1e-9
+
+#: Addresses per vector block.  The engine materialises several
+#: (addresses x bins) float64 matrices per draw; blocking keeps that
+#: working set around L2-sized so throughput does not collapse to main
+#: memory bandwidth on large batches.  Results are independent per
+#: address, so blocking cannot change them.
+_BLOCK = 8192
 
 
 class TrivialReplication(ReplicationStrategy):
@@ -53,6 +77,10 @@ class TrivialReplication(ReplicationStrategy):
             ]
             for draw in range(self._copies)
         ]
+        self._rank_ids = [spec.bin_id for spec in self._bins]
+        self._rank_index = {
+            bin_id: rank for rank, bin_id in enumerate(self._rank_ids)
+        }
 
     def place(self, address: int) -> Placement:
         chosen: List[str] = []
@@ -72,6 +100,69 @@ class TrivialReplication(ReplicationStrategy):
             chosen.append(best_id)
             taken.add(best_id)
         return tuple(chosen)
+
+    def _place_many_serial(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Vectorized Definition 2.3: k masked rendezvous races per batch.
+
+        Each draw evaluates every (bin, address) score in one SplitMix64
+        pass plus one ``log``; bins already holding a copy of an address
+        are masked out before the per-address argmax, exactly mirroring
+        the scalar skip.  Element-wise identical to :meth:`place` — see
+        ``_TIE_GUARD`` for how sub-ulp log disagreements are kept out of
+        the result.  Without NumPy the generic scalar loop runs.
+        """
+        np = get_numpy()
+        if np is None:
+            return super()._place_many_serial(addresses)
+        addr = as_u64_array(addresses)
+        count = addr.shape[0]
+        bin_count = len(self._bins)
+        weights = np.asarray(
+            [weight for _, weight, _ in self._draw_entries[0]],
+            dtype=np.float64,
+        )
+        all_bases = [
+            np.asarray(
+                [base for _, _, base in self._draw_entries[draw]],
+                dtype=np.uint64,
+            )
+            for draw in range(self._copies)
+        ]
+        columns = np.empty((self._copies, count), dtype=np.int64)
+        unsafe_indices = []
+        for start in range(0, count, _BLOCK):
+            stop = min(start + _BLOCK, count)
+            mixed = splitmix64_array(addr[start:stop])
+            block = stop - start
+            taken = np.zeros((block, bin_count), dtype=bool)
+            unsafe = np.zeros(block, dtype=bool)
+            rows = np.arange(block)
+            for draw in range(self._copies):
+                state = splitmix64_array(
+                    splitmix64_array(all_bases[draw][None, :] ^ mixed[:, None])
+                )
+                uniforms = (
+                    (state | np.uint64(1)).astype(np.float64) * _INV_2_64
+                )
+                scores = -weights[None, :] / np.log(uniforms)
+                scores[taken] = -np.inf
+                winner = np.argmax(scores, axis=1)
+                best = scores[rows, winner]
+                scores[rows, winner] = -np.inf
+                runner_up = np.max(scores, axis=1)
+                unsafe |= (best - runner_up) <= best * _TIE_GUARD
+                columns[draw, start:stop] = winner
+                taken[rows, winner] = True
+            unsafe_indices.extend(start + np.flatnonzero(unsafe))
+        for index in unsafe_indices:
+            # Near-tie: the scalar loop is the authority on this address.
+            placement = self.place(int(addresses[index]))
+            for position, bin_id in enumerate(placement):
+                columns[position, index] = self._rank_index[bin_id]
+        sink = obs.sink()
+        if sink.enabled:
+            record_batch(sink, self.name, self._copies, count)
+        return BatchPlacement(self._rank_ids, list(columns))
 
     def expected_shares(self) -> Dict[str, float]:
         """Exact per-bin share of all copies under sequential fair draws.

@@ -1,0 +1,165 @@
+"""FastRedundantShare batch engine: NumPy vs scalar vs pure-Python.
+
+The Section 3.3 variant's vectorized ``place_many`` must be bit-identical
+to the scalar O(k) lookup *and* to the pure-Python fallback leg, for any
+configuration — both paths draw through the very same
+:class:`~repro.hashing.alias.CumulativeTable` boundaries, so this pins
+that the ``searchsorted`` gather reproduces the table's binary search
+exactly.  Also covers the epoch-keyed precompute bundle: instances over
+the same configuration and epoch share state tables; a bumped epoch
+starts cold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._compat as compat
+from repro.core import FastRedundantShare
+from repro.placement import precompute
+from repro.types import bins_from_capacities
+
+capacities_vectors = st.lists(
+    st.integers(min_value=1, max_value=2_000), min_size=5, max_size=12
+)
+replication_degrees = st.integers(min_value=2, max_value=4)
+namespaces = st.sampled_from(["", "ns-a", "tenant/7"])
+address_lists = st.lists(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    min_size=1,
+    max_size=64,
+)
+
+
+def scalar_rows(strategy, addresses):
+    return [strategy.place(address) for address in addresses]
+
+
+class TestBatchEquivalence:
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        namespace=namespaces,
+        addresses=address_lists,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_scalar(
+        self, capacities, copies, namespace, addresses
+    ):
+        strategy = FastRedundantShare(
+            bins_from_capacities(capacities), copies=copies,
+            namespace=namespace,
+        )
+        batch = strategy.place_many(addresses)
+        assert [tuple(row) for row in batch.tuples()] == scalar_rows(
+            strategy, addresses
+        )
+
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        namespace=namespaces,
+        addresses=address_lists,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_numpy_leg_matches_pure_python_leg(
+        self, capacities, copies, namespace, addresses
+    ):
+        bins = bins_from_capacities(capacities)
+
+        def run_leg():
+            # Each leg starts from a cold shared cache so neither can feed
+            # the other through the process-global precompute bundle.
+            precompute.clear_shared_cache()
+            strategy = FastRedundantShare(
+                bins, copies=copies, namespace=namespace
+            )
+            return [
+                tuple(row)
+                for row in strategy.place_many(addresses).tuples()
+            ]
+
+        numpy_rows = run_leg()
+        saved = compat.np
+        compat.np = None
+        try:
+            pure_rows = run_leg()
+        finally:
+            compat.np = saved
+        assert numpy_rows == pure_rows
+
+    def test_non_cdf_selectors_still_match_scalar(self):
+        # "rendezvous"/"share" selectors keep the generic loop; the batch
+        # result must still agree with place().
+        bins = bins_from_capacities([100, 250, 60, 400, 90])
+        addresses = list(range(-7, 150))
+        for selector in ("rendezvous", "share"):
+            strategy = FastRedundantShare(
+                bins, copies=3, state_selector=selector
+            )
+            batch = strategy.place_many(addresses)
+            assert [tuple(row) for row in batch.tuples()] == scalar_rows(
+                strategy, addresses
+            )
+
+
+class TestPrecomputeBundle:
+    BINS = bins_from_capacities([120, 80, 200, 40, 160, 90])
+
+    def test_lazy_until_first_batch(self):
+        strategy = FastRedundantShare(self.BINS, copies=3)
+        assert strategy.cache_info()["precomputed"] == 0
+        strategy.place_many(range(32))
+        info = strategy.cache_info()
+        assert info["precomputed"] == 1
+        if compat.np is not None:
+            assert info["vector_states"] > 0
+
+    def test_same_epoch_instances_share_state(self):
+        precompute.clear_shared_cache()
+        first = FastRedundantShare(self.BINS, copies=3)
+        first.place_many(range(64))
+        warm_states = first.cache_info()["vector_states"]
+        if compat.np is not None:
+            assert warm_states > 0
+
+        before = precompute.shared_cache().info()
+        second = FastRedundantShare(self.BINS, copies=3)
+        second.place_many(range(64))
+        after = precompute.shared_cache().info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        # The second instance gathered from the first's arrays.
+        assert second.cache_info()["vector_states"] == warm_states
+        assert second._precompute is first._precompute
+
+    def test_fingerprint_separates_configurations(self):
+        precompute.clear_shared_cache()
+        base = FastRedundantShare(self.BINS, copies=3)
+        base.place_many(range(16))
+        before = precompute.shared_cache().info()
+        for other in (
+            FastRedundantShare(self.BINS, copies=2),
+            FastRedundantShare(self.BINS, copies=3, namespace="other"),
+            FastRedundantShare(
+                bins_from_capacities([120, 80, 200, 40, 160, 91]), copies=3
+            ),
+        ):
+            other.place_many(range(16))
+            assert other._precompute is not base._precompute
+        after = precompute.shared_cache().info()
+        assert after["misses"] == before["misses"] + 3
+
+    def test_bumped_epoch_starts_cold(self):
+        precompute.clear_shared_cache()
+        warm = FastRedundantShare(self.BINS, copies=3)
+        warm.place_many(range(64))
+        precompute.bump_epoch()
+        cold = FastRedundantShare(self.BINS, copies=3)
+        assert cold._epoch > warm._epoch
+        cold.place_many(range(64))
+        assert cold._precompute is not warm._precompute
+        # Same configuration, so the placements themselves agree.
+        assert cold.place_many(range(64)).tuples() == warm.place_many(
+            range(64)
+        ).tuples()

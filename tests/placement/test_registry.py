@@ -1,0 +1,78 @@
+"""The strategy registry: one table the CLI and benches both trust."""
+
+import pytest
+
+from repro.core import FastRedundantShare, LinMirror, RedundantShare
+from repro.placement import (
+    TrivialReplication,
+    build_strategy,
+    registered_strategies,
+    strategy_names,
+)
+from repro.placement.registry import lookup
+from repro.types import bins_from_capacities
+
+BINS = bins_from_capacities([120, 80, 200, 40, 160])
+
+
+def test_canonical_names_are_unique_and_stable():
+    names = strategy_names()
+    assert len(names) == len(set(names))
+    for expected in (
+        "redundant-share",
+        "lin-mirror",
+        "fast-redundant-share",
+        "trivial",
+        "classic-lin-mirror",
+        "crush",
+        "weighted-striping",
+        "balanced-rendezvous",
+    ):
+        assert expected in names
+
+
+def test_aliases_resolve_to_canonical_entries():
+    assert lookup("fast").name == "fast-redundant-share"
+    assert lookup("striping").name == "weighted-striping"
+    assert "fast" in strategy_names(include_aliases=True)
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(KeyError, match="unknown strategy"):
+        lookup("definitely-not-a-strategy")
+
+
+def test_build_honours_copies_and_fixed_copies():
+    assert build_strategy("redundant-share", BINS, 3).copies == 3
+    assert isinstance(build_strategy("fast", BINS, 3), FastRedundantShare)
+    assert isinstance(build_strategy("trivial", BINS, 3), TrivialReplication)
+    # LinMirror is k = 2 by definition, whatever was requested.
+    mirror = build_strategy("lin-mirror", BINS, 5)
+    assert isinstance(mirror, LinMirror)
+    assert mirror.copies == 2
+
+
+def test_every_entry_builds_and_places():
+    for entry in registered_strategies():
+        strategy = entry.build(BINS, 3)
+        placement = strategy.place(42)
+        assert len(placement) == entry.effective_copies(3)
+        assert len(set(placement)) == len(placement)
+        batch = strategy.place_many(range(16))
+        assert batch.tuples() == [
+            strategy.place(address) for address in range(16)
+        ]
+
+
+def test_vectorized_flags_match_reality():
+    # Entries flagged vectorized must override the serial engine rather
+    # than inherit the generic loop (the bench's speedup gate keys on it).
+    from repro.placement.base import ReplicationStrategy
+
+    generic = ReplicationStrategy._place_many_serial
+    for entry in registered_strategies():
+        strategy = entry.build(BINS, 3)
+        overrides = (
+            type(strategy)._place_many_serial is not generic
+        )
+        assert overrides == entry.vectorized, entry.name

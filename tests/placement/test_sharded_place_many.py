@@ -1,0 +1,138 @@
+"""Sharded parallel ``place_many``: determinism, env knob, instrumentation.
+
+Placement is a pure function of (configuration, address), so splitting an
+address vector across worker processes and stitching the shards back in
+offset order must be indistinguishable from the serial engine.  These
+tests pin that invariant for the paper's strategies, the
+``REPRO_PLACE_WORKERS`` environment knob and its small-batch floor, and
+the per-shard observability events.
+"""
+
+import pytest
+
+import repro._compat as compat
+from repro import obs
+from repro.core import FastRedundantShare, RedundantShare
+from repro.placement import TrivialReplication
+from repro.placement.base import SHARD_MIN_ADDRESSES, _shard_bounds
+from repro.types import bins_from_capacities
+
+BINS = bins_from_capacities([120, 80, 200, 40, 160, 90, 310, 55])
+ADDRESSES = list(range(-50, 2_000)) + [2**63, 2**64 - 1]
+
+
+def factories():
+    return [
+        lambda: RedundantShare(BINS, copies=3),
+        lambda: FastRedundantShare(BINS, copies=3),
+        lambda: TrivialReplication(BINS, copies=3),
+    ]
+
+
+class TestShardedEqualsSerial:
+    def test_workers_match_serial(self):
+        for factory in factories():
+            strategy = factory()
+            serial = strategy.place_many(ADDRESSES)
+            sharded = strategy.place_many(ADDRESSES, workers=3)
+            assert sharded.tuples() == serial.tuples()
+            assert sharded.rank_ids == serial.rank_ids
+
+    def test_more_workers_than_addresses(self):
+        strategy = RedundantShare(BINS, copies=2)
+        few = ADDRESSES[:5]
+        assert (
+            strategy.place_many(few, workers=16).tuples()
+            == strategy.place_many(few).tuples()
+        )
+
+    def test_workers_without_numpy(self, monkeypatch):
+        # The shard merge has a list-based leg; forcing it must still
+        # reproduce the serial fallback result.
+        monkeypatch.setattr(compat, "np", None)
+        strategy = RedundantShare(BINS, copies=2)
+        addresses = ADDRESSES[:300]
+        serial = strategy.place_many(addresses)
+        sharded = strategy.place_many(addresses, workers=2)
+        assert sharded.tuples() == serial.tuples()
+
+
+class TestWorkerResolution:
+    def test_env_knob_requires_large_batch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLACE_WORKERS", "4")
+        strategy = RedundantShare(BINS, copies=2)
+        small = list(range(SHARD_MIN_ADDRESSES - 1))
+        assert strategy._effective_workers(None, len(small)) == 0
+        assert strategy._effective_workers(None, SHARD_MIN_ADDRESSES) == 4
+
+    def test_env_knob_ignored_when_unset_or_invalid(self, monkeypatch):
+        strategy = RedundantShare(BINS, copies=2)
+        monkeypatch.delenv("REPRO_PLACE_WORKERS", raising=False)
+        assert strategy._effective_workers(None, 10**6) == 0
+        monkeypatch.setenv("REPRO_PLACE_WORKERS", "not-a-number")
+        assert strategy._effective_workers(None, 10**6) == 0
+        monkeypatch.setenv("REPRO_PLACE_WORKERS", "-3")
+        assert strategy._effective_workers(None, 10**6) == 0
+
+    def test_explicit_workers_bypass_floor_and_clamp(self):
+        strategy = RedundantShare(BINS, copies=2)
+        assert strategy._effective_workers(2, 10) == 2
+        assert strategy._effective_workers(8, 3) == 3  # never > addresses
+        assert strategy._effective_workers(1, 10**6) == 0
+        assert strategy._effective_workers(0, 10**6) == 0
+
+    def test_env_knob_end_to_end(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLACE_WORKERS", "2")
+        strategy = FastRedundantShare(BINS, copies=3)
+        population = list(range(SHARD_MIN_ADDRESSES + 100))
+        via_env = strategy.place_many(population)
+        serial = strategy.place_many(population, workers=0)
+        assert via_env.tuples() == serial.tuples()
+
+
+class TestShardBounds:
+    def test_bounds_cover_range_contiguously(self):
+        for count, workers in [(10, 3), (7, 7), (100, 4), (5, 2)]:
+            bounds = _shard_bounds(count, workers)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == count
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+            sizes = [stop - start for start, stop in bounds]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardObservability:
+    def test_per_shard_events_and_metrics(self):
+        strategy = RedundantShare(BINS, copies=3)
+        workers = 2
+        with obs.capture() as trace:
+            strategy.place_many(ADDRESSES, workers=workers)
+            snapshot = obs.metrics().snapshot()
+        shard_events = [
+            event for event in trace.events if event.kind == "placement.shard"
+        ]
+        assert len(shard_events) == workers
+        assert [e.fields["shard"] for e in shard_events] == list(
+            range(workers)
+        )
+        assert sum(e.fields["addresses"] for e in shard_events) == len(
+            ADDRESSES
+        )
+        for event in shard_events:
+            assert event.fields["strategy"] == strategy.name
+            assert event.fields["seconds"] >= 0
+        batch_events = [
+            event for event in trace.events if event.kind == "placement.batch"
+        ]
+        assert len(batch_events) == 1
+        assert batch_events[0].fields["addresses"] == len(ADDRESSES)
+        assert snapshot["counters"]["placement.shards"] == workers
+
+    def test_serial_path_emits_no_shard_events(self):
+        strategy = RedundantShare(BINS, copies=3)
+        with obs.capture() as trace:
+            strategy.place_many(ADDRESSES)
+        assert not [
+            event for event in trace.events if event.kind == "placement.shard"
+        ]
