@@ -31,7 +31,7 @@ import pytest
 
 from _tables import emit
 from repro._compat import HAVE_NUMPY
-from repro.placement.registry import registered_strategies
+from repro.placement.registry import create, registered_strategies
 from repro.simulation import heterogeneous_bins
 
 #: ≥100k addresses — the acceptance scale for the 10x headline claims.
@@ -59,7 +59,7 @@ def _row_name(entry):
 def measure(entry):
     """Time the scalar loop and the batch engine over the same addresses."""
     addresses = ADDRESSES if entry.vectorized else LOOP_ADDRESSES
-    strategy = entry.build(heterogeneous_bins(12), COPIES)
+    strategy = create(entry.name, heterogeneous_bins(12), copies=COPIES)
     population = list(range(addresses))
     start = time.perf_counter()
     scalar = [strategy.place(address) for address in population]

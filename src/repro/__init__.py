@@ -29,8 +29,11 @@ from .exceptions import (
     ConfigurationError,
     DecodingError,
     DeviceNotFoundError,
+    DeviceUnavailableError,
+    InfeasibleRedundancyError,
     InfeasibleReplicationError,
     PlacementError,
+    RepairTimeoutError,
     ReproError,
 )
 from .types import (
@@ -52,10 +55,13 @@ __all__ = [
     "ConfigurationError",
     "DecodingError",
     "DeviceNotFoundError",
+    "DeviceUnavailableError",
+    "InfeasibleRedundancyError",
     "InfeasibleReplicationError",
     "Placement",
     "PlacementError",
     "RedundantShare",
+    "RepairTimeoutError",
     "ReproError",
     "__version__",
     "bins_from_capacities",

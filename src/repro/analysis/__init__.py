@@ -11,6 +11,7 @@ from .durability import (
     annual_loss_probability,
     mttdl,
     mttdl_mirror,
+    observed_model,
     simulate_mttdl,
 )
 
@@ -21,6 +22,7 @@ __all__ = [
     "fairness_tolerances",
     "mttdl",
     "mttdl_mirror",
+    "observed_model",
     "required_copies",
     "simulate_mttdl",
     "tolerance_for",

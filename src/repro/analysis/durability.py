@@ -110,6 +110,49 @@ def mttdl_mirror(copies: int, mttf: float, mttr: float) -> float:
     return mttdl(DurabilityModel(copies, copies - 1, mttf, mttr))
 
 
+def observed_model(
+    devices: int,
+    tolerance: int,
+    failures: int,
+    horizon: float,
+    mean_repair_time: float,
+) -> DurabilityModel:
+    """Fit a :class:`DurabilityModel` to what a chaos run actually saw.
+
+    Args:
+        devices: Devices in the pool during the run.
+        tolerance: Simultaneous failures survived (``k - 1`` for mirroring,
+            the code's parity count otherwise).
+        failures: Permanent device failures observed.
+        horizon: Wall-clock length of the observation window (simulation
+            time units).
+        mean_repair_time: Average time from failure to the last share of
+            the device being re-replicated.
+
+    Returns:
+        A model whose MTTF is the per-device empirical estimate
+        ``devices * horizon / failures`` and whose MTTR is the observed
+        mean repair time — feed it to :func:`mttdl` for the durability the
+        observed failure/repair rates imply.
+
+    Raises:
+        ValueError: with no failures, a non-positive horizon, or a
+            non-positive repair time (nothing to fit).
+    """
+    if failures < 1:
+        raise ValueError("need at least one observed failure to fit MTTF")
+    if horizon <= 0:
+        raise ValueError("observation horizon must be positive")
+    if mean_repair_time <= 0:
+        raise ValueError("mean repair time must be positive")
+    return DurabilityModel(
+        devices=devices,
+        tolerance=tolerance,
+        mttf=devices * horizon / failures,
+        mttr=mean_repair_time,
+    )
+
+
 def annual_loss_probability(model: DurabilityModel, year: float = 1.0) -> float:
     """P(data loss within one year), treating loss as ~exponential."""
     return 1.0 - math.exp(-year / mttdl(model))

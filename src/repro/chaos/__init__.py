@@ -1,0 +1,58 @@
+"""Fault-injection and recovery: chaos runs against the cluster simulator.
+
+The subsystem splits into four layers:
+
+* :mod:`repro.chaos.schedule` — seeded, serialisable fault schedules
+  (crash / outage / flaky / shrink).
+* :mod:`repro.chaos.health` — the availability ledger that distinguishes
+  transient unavailability from permanent loss.
+* :mod:`repro.chaos.recovery` — the priority repair queue, retry/backoff
+  policy, and degraded-read resolution.
+* :mod:`repro.chaos.controller` — the discrete-event controller that ties
+  them together and reports blocks-at-risk, losses, repair throughput and
+  post-repair fairness drift.
+
+The ``repro chaos`` CLI subcommand is a thin front-end over
+:func:`run_chaos`.
+"""
+
+from .controller import (
+    ChaosController,
+    ChaosOptions,
+    ChaosReport,
+    LossEvent,
+    run_chaos,
+)
+from .health import FlakyProfile, HealthLedger, HealthState
+from .recovery import (
+    DegradedReadResult,
+    RepairPolicy,
+    RepairQueue,
+    RepairTask,
+    degraded_read,
+    gather_shares,
+    rebuild_share,
+)
+from .schedule import FaultEvent, FaultKind, FaultSchedule, generate_schedule
+
+__all__ = [
+    "ChaosController",
+    "ChaosOptions",
+    "ChaosReport",
+    "DegradedReadResult",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FlakyProfile",
+    "HealthLedger",
+    "HealthState",
+    "LossEvent",
+    "RepairPolicy",
+    "RepairQueue",
+    "RepairTask",
+    "degraded_read",
+    "gather_shares",
+    "generate_schedule",
+    "rebuild_share",
+    "run_chaos",
+]

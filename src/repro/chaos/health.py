@@ -1,0 +1,102 @@
+"""Availability ledger: which devices can serve I/O right now.
+
+The cluster layer only knows ACTIVE vs FAILED, and :meth:`StorageDevice.fail`
+destroys contents — correct for permanent crashes, wrong for transient
+outages where the data survives but the device is unreachable.  The chaos
+subsystem therefore keeps its own :class:`HealthLedger` on top: a device can
+be ONLINE, OFFLINE (outage — data intact, do not touch), FLAKY (serving,
+but with an error/latency profile), or CRASHED (mirrors the cluster's
+FAILED state until the replacement arrives).
+
+The ledger is bookkeeping only; it never mutates devices itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+class HealthState(enum.Enum):
+    """Chaos-layer view of one device's availability."""
+
+    ONLINE = "online"
+    OFFLINE = "offline"
+    FLAKY = "flaky"
+    CRASHED = "crashed"
+
+
+@dataclass(frozen=True)
+class FlakyProfile:
+    """Error behaviour of a device in the FLAKY state.
+
+    Attributes:
+        error_rate: Probability in [0, 1) that one operation against the
+            device fails and must be retried.
+        latency: Extra time units each operation costs.
+    """
+
+    error_rate: float
+    latency: float = 0.0
+
+
+class HealthLedger:
+    """Tracks availability for a set of devices.
+
+    Devices unknown to the ledger are treated as ONLINE, so the ledger
+    only needs entries for devices a fault has touched.
+    """
+
+    def __init__(self, device_ids: Iterable[str] = ()) -> None:
+        self._states: Dict[str, HealthState] = {
+            device_id: HealthState.ONLINE for device_id in device_ids
+        }
+        self._profiles: Dict[str, FlakyProfile] = {}
+
+    def state(self, device_id: str) -> HealthState:
+        """Current state (ONLINE when the device was never marked)."""
+        return self._states.get(device_id, HealthState.ONLINE)
+
+    def available(self, device_id: str) -> bool:
+        """True when the device can serve reads/writes (maybe flakily)."""
+        return self.state(device_id) in (HealthState.ONLINE, HealthState.FLAKY)
+
+    def profile(self, device_id: str) -> Optional[FlakyProfile]:
+        """The flaky profile, or None unless the device is FLAKY."""
+        if self.state(device_id) is HealthState.FLAKY:
+            return self._profiles.get(device_id)
+        return None
+
+    def mark_online(self, device_id: str) -> None:
+        """Return a device to full health (clears any flaky profile)."""
+        self._states[device_id] = HealthState.ONLINE
+        self._profiles.pop(device_id, None)
+
+    def mark_offline(self, device_id: str) -> None:
+        """Transient outage: data intact, device unreachable."""
+        self._states[device_id] = HealthState.OFFLINE
+        self._profiles.pop(device_id, None)
+
+    def mark_flaky(self, device_id: str, profile: FlakyProfile) -> None:
+        """Device serves, but each operation may fail per ``profile``."""
+        self._states[device_id] = HealthState.FLAKY
+        self._profiles[device_id] = profile
+
+    def mark_crashed(self, device_id: str) -> None:
+        """Permanent failure (until the replacement is swapped in)."""
+        self._states[device_id] = HealthState.CRASHED
+        self._profiles.pop(device_id, None)
+
+    def forget(self, device_id: str) -> None:
+        """Drop a decommissioned device from the ledger."""
+        self._states.pop(device_id, None)
+        self._profiles.pop(device_id, None)
+
+    def unavailable(self) -> List[str]:
+        """Sorted ids of devices that cannot serve right now."""
+        return sorted(
+            device_id
+            for device_id, state in self._states.items()
+            if state in (HealthState.OFFLINE, HealthState.CRASHED)
+        )

@@ -19,7 +19,7 @@ from typing import List, Sequence
 from .capacity import clip_capacities, is_capacity_efficient, max_balls
 from .core import RedundantShare
 from .placement import (
-    build_strategy,
+    create,
     strategy_names,
     trivial_wasted_fraction,
 )
@@ -38,8 +38,9 @@ def _parse_capacities(raw: str) -> List[int]:
 
 
 def _strategy_for(name: str, bins, copies: int):
+    """Resolve a strategy name through the canonical registry factory."""
     try:
-        return build_strategy(name, bins, copies)
+        return create(name, bins, copies=copies)
     except KeyError:
         raise SystemExit(
             f"unknown strategy {name!r}; choose from "
@@ -243,6 +244,128 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault schedule against a cluster and report recovery.
+
+    Builds a cluster (capacities scaled so the written blocks fit with
+    rebuild headroom, like ``repro stats``), generates or loads a fault
+    schedule, plays it through the :class:`~repro.chaos.ChaosController`,
+    and prints blocks-at-risk over time, data-loss events, repair
+    throughput and the post-repair fairness verdict.
+    """
+    import os
+
+    from .chaos import (
+        ChaosOptions,
+        FaultSchedule,
+        generate_schedule,
+        run_chaos,
+    )
+    from .chaos.recovery import RepairPolicy
+    from .cluster import Cluster
+    from .exceptions import ConfigurationError, InfeasibleRedundancyError
+    from .obs import JsonlSink, MemorySink, TeeSink, metrics, reset_metrics, use_sink
+    from .obs.report import render_report
+
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+    capacities = _parse_capacities(args.capacities)
+    scale = max(1, -(-4 * args.blocks * args.copies // sum(capacities)))
+    bins = bins_from_capacities(
+        [capacity * scale for capacity in capacities], prefix=args.prefix
+    )
+    cluster = Cluster(
+        bins, lambda b: _strategy_for(args.strategy, b, args.copies)
+    )
+    for address in range(args.blocks):
+        cluster.write(address, b"x" * 16)
+
+    if args.schedule:
+        try:
+            with open(args.schedule, "r", encoding="utf-8") as handle:
+                schedule = FaultSchedule.from_json(handle.read())
+        except (OSError, ConfigurationError) as error:
+            raise SystemExit(f"cannot load schedule {args.schedule!r}: {error}")
+    else:
+        try:
+            schedule = generate_schedule(
+                cluster.device_ids(),
+                seed=seed,
+                duration=args.duration,
+                crashes=args.crashes,
+                outages=args.outages,
+                flaky=args.flaky,
+                error_rate=args.error_rate,
+                latency=args.latency,
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+
+    options = ChaosOptions(
+        seed=seed,
+        policy=RepairPolicy(
+            rate=args.rate,
+            max_attempts=args.max_attempts,
+            timeout=args.timeout,
+            backoff_base=args.backoff_base,
+            backoff_factor=args.backoff_factor,
+            backoff_max=args.backoff_max,
+        ),
+        replacement_delay=args.replacement_delay,
+        allow_degraded=args.allow_degraded,
+        alpha=args.alpha,
+    )
+
+    reset_metrics()
+    memory = MemorySink()
+    sink = memory
+    if args.jsonl:
+        sink = TeeSink([memory, JsonlSink(args.jsonl)])
+    with use_sink(sink):
+        try:
+            report = run_chaos(cluster, schedule, options)
+        except InfeasibleRedundancyError as error:
+            sink.close()
+            print(f"chaos run aborted: {error}")
+            return 1
+        sink.close()
+
+    print(f"schedule ({len(schedule)} faults, seed={seed}):")
+    for event in schedule:
+        extras = ""
+        if event.duration:
+            extras += f" duration={event.duration:g}"
+        if event.error_rate:
+            extras += f" error_rate={event.error_rate:g}"
+        print(
+            f"  t={event.time:<8.2f}{event.kind.value:<8}"
+            f"{event.device_id}{extras}"
+        )
+    print()
+    print(report.summary())
+    print()
+    print("blocks at risk over time:")
+    for time, at_risk, depth in report.samples:
+        print(f"  t={time:<8.2f}at_risk={at_risk:<6}queue={depth}")
+    if report.loss_events:
+        print("\ndata-loss events:")
+        for loss in report.loss_events:
+            print(
+                f"  t={loss.time:.2f} block {loss.address} "
+                f"({loss.survivors} survivors)"
+            )
+    print()
+    print(render_report(metrics(), memory, [report.fairness] if report.fairness else []))
+    if args.strict and (
+        report.data_loss
+        or (report.fairness is not None and not report.fairness.accepted)
+    ):
+        return 1
+    return 0
+
+
 def cmd_adaptivity(args: argparse.Namespace) -> int:
     """The Figure 3 add/remove experiment."""
     results = run_adaptivity(
@@ -342,6 +465,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when a fairness test rejects",
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection run with recovery report"
+    )
+    p_chaos.add_argument(
+        "--capacities",
+        default="500,600,700,800,900,1000",
+        help="comma-separated device capacities (relative; auto-scaled)",
+    )
+    p_chaos.add_argument("--prefix", default="dev", help="device name prefix")
+    p_chaos.add_argument("--copies", type=int, default=3, help="replication k")
+    p_chaos.add_argument("--strategy", default="redundant-share")
+    p_chaos.add_argument(
+        "--blocks", type=int, default=120, help="blocks written before faults"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="chaos seed (default: $REPRO_CHAOS_SEED or 0)",
+    )
+    p_chaos.add_argument(
+        "--schedule", default="",
+        help='JSON fault-schedule file ({"faults": [...]}); overrides the '
+        "generated schedule",
+    )
+    p_chaos.add_argument("--duration", type=float, default=20.0)
+    p_chaos.add_argument("--crashes", type=int, default=1)
+    p_chaos.add_argument("--outages", type=int, default=1)
+    p_chaos.add_argument("--flaky", type=int, default=1)
+    p_chaos.add_argument(
+        "--error-rate", type=float, default=0.3,
+        help="per-attempt failure probability of flaky devices",
+    )
+    p_chaos.add_argument(
+        "--latency", type=float, default=0.25,
+        help="extra time units per attempt touching a flaky device",
+    )
+    p_chaos.add_argument(
+        "--rate", type=float, default=8.0, help="repairs per time unit"
+    )
+    p_chaos.add_argument("--max-attempts", type=int, default=5)
+    p_chaos.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-task repair budget before giving up",
+    )
+    p_chaos.add_argument("--backoff-base", type=float, default=0.5)
+    p_chaos.add_argument("--backoff-factor", type=float, default=2.0)
+    p_chaos.add_argument("--backoff-max", type=float, default=8.0)
+    p_chaos.add_argument(
+        "--replacement-delay", type=float, default=1.0,
+        help="time until a crashed device's blank replacement arrives",
+    )
+    p_chaos.add_argument(
+        "--allow-degraded", action="store_true",
+        help="accept Lemma-2.1-infeasible shrinks instead of aborting",
+    )
+    p_chaos.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="false-positive rate of the post-repair fairness test",
+    )
+    p_chaos.add_argument(
+        "--jsonl", default="", help="also stream trace events to this file"
+    )
+    p_chaos.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on data loss or fairness rejection",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_adapt = sub.add_parser("adaptivity", help="Figure 3 experiment")
     common(p_adapt, capacities=False)

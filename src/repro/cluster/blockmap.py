@@ -84,6 +84,14 @@ class BlockMap:
         """All (address, position) shares mapped to a device."""
         return sorted(self._by_device.get(device_id, ()))
 
+    def blocks_on(self, device_id: str) -> List[int]:
+        """Distinct block addresses with at least one share on a device.
+
+        The blast radius of losing that device — what the chaos layer
+        surveys after a crash to prioritise re-replication.
+        """
+        return sorted({address for address, _ in self._by_device.get(device_id, ())})
+
     def share_count(self, device_id: str) -> int:
         """Number of shares mapped to a device."""
         return len(self._by_device.get(device_id, ()))

@@ -248,6 +248,19 @@ class Cluster:
         except KeyError:
             raise DeviceNotFoundError(f"no device {device_id!r}") from None
 
+    def shares_on(self, device_id: str) -> List["tuple"]:
+        """Share keys ``(address, position)`` mapped to a device.
+
+        The mapping view, not the physical one: after a crash the device
+        holds nothing, but the map still says which shares belong there —
+        exactly the work list a repair pipeline needs.
+
+        Raises:
+            DeviceNotFoundError: for unknown ids.
+        """
+        self.device(device_id)  # raises for unknown ids
+        return list(self._map.shares_on(device_id))
+
     def stats(self) -> ClusterStats:
         """Usage snapshot for fairness reporting."""
         return ClusterStats(

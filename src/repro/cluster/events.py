@@ -43,6 +43,18 @@ class EventLog:
         """All events of one kind, in order."""
         return [event for event in self._events if event.kind == kind]
 
+    def as_tuples(self) -> List[tuple]:
+        """The whole journal as comparable ``(kind, details)`` tuples.
+
+        Determinism tests diff two runs' logs with this — it strips the
+        sequence numbers (already implied by order) and freezes the detail
+        dicts into sorted item tuples.
+        """
+        return [
+            (event.kind, tuple(sorted(event.details.items())))
+            for event in self._events
+        ]
+
     def last(self) -> Event:
         """Most recent event.
 

@@ -41,16 +41,33 @@ class FailureInjector:
         self._seed = seed
         self._round = 0
 
-    def choose_victims(self, cluster: Cluster, count: int) -> List[str]:
-        """Pick ``count`` distinct active devices deterministically."""
+    def choose_victims(
+        self,
+        cluster: Cluster,
+        count: int,
+        exclude: Sequence[str] = (),
+    ) -> List[str]:
+        """Pick ``count`` distinct active devices deterministically.
+
+        Args:
+            cluster: The cluster to pick from.
+            count: Number of distinct victims.
+            exclude: Device ids never picked — chaos schedules use this so
+                one device does not receive overlapping faults.
+
+        Raises:
+            ValueError: if fewer than ``count`` eligible devices remain.
+        """
+        excluded = set(exclude)
         active = [
             device_id
             for device_id in cluster.device_ids()
             if cluster.device(device_id).is_active
+            and device_id not in excluded
         ]
         if count > len(active):
             raise ValueError(
-                f"cannot fail {count} of {len(active)} active devices"
+                f"cannot fail {count} of {len(active)} eligible devices"
             )
         victims: List[str] = []
         pool = list(active)

@@ -32,6 +32,50 @@ class InfeasibleReplicationError(ConfigurationError):
     """
 
 
+class InfeasibleRedundancyError(ConfigurationError):
+    """A reconfiguration would leave the cluster unable to honour redundancy.
+
+    Raised by the chaos/recovery layer when a shrink (device removal or
+    permanent decommission) would violate Lemma 2.1 (``k * b_0 <= B``) on
+    the surviving device set — or leave fewer than ``k`` devices at all —
+    so a rebalance onto that set would either silently misplace copies or
+    waste capacity the operator did not sign off on.  The attempted
+    reconfiguration is rejected before any data moves.
+    """
+
+
+class DeviceUnavailableError(ReproError):
+    """An operation needed a device that is currently unreachable.
+
+    Distinct from :class:`DeviceNotFoundError` (the id is unknown) and from
+    data loss (:class:`DecodingError`): the device exists and may hold the
+    data, but it is crashed, offline, or was unreachable on every permitted
+    attempt — e.g. a degraded read that found no live replica across all
+    ``k`` positions.
+    """
+
+
+class RepairTimeoutError(ReproError):
+    """A repair task exhausted its retry/backoff budget without completing.
+
+    Carries enough context to requeue the share by hand; the recovery
+    pipeline records (rather than raises) these by default so one flaky
+    device cannot wedge a whole repair campaign.
+    """
+
+    def __init__(
+        self, device_id: str, address: int, position: int, attempts: int
+    ) -> None:
+        super().__init__(
+            f"repair of share ({address}, {position}) on {device_id!r} "
+            f"gave up after {attempts} attempts"
+        )
+        self.device_id = device_id
+        self.address = address
+        self.position = position
+        self.attempts = attempts
+
+
 class PlacementError(ReproError):
     """An individual placement lookup could not be completed.
 

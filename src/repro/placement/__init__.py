@@ -47,6 +47,7 @@ from .crush import (
 from .registry import (
     StrategyEntry,
     build_strategy,
+    create,
     registered_strategies,
     strategy_names,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "WeightedRendezvous",
     "build_strategy",
     "check_placement",
+    "create",
     "default_stretch",
     "make_alias",
     "make_bucket",

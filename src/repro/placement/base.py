@@ -154,13 +154,30 @@ class SingleCopyPlacer(abc.ABC):
     def place(self, address: int) -> str:
         """Return the bin id storing ball ``address``."""
 
-    def place_many(self, addresses: Sequence[int]) -> List[str]:
+    def place_many(
+        self,
+        addresses: Sequence[int],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[str]:
         """Batch lookup: ``[place(a) for a in addresses]``.
 
+        Accepts the same keyword signature as
+        :meth:`ReplicationStrategy.place_many` so callers can treat every
+        registered strategy — single-copy placers included — uniformly.
+        Single-copy batches are cheap enough that sharding never pays for
+        the fork overhead, so ``workers`` is accepted for signature parity
+        and the engine always runs the serial loop.
+
         The default simply loops; placers with a vectorized pipeline
-        override this with an equivalent (element-wise identical) fast
-        path.
+        override :meth:`_place_many_serial` with an equivalent
+        (element-wise identical) fast path.
         """
+        del workers  # accepted for API parity; single-copy runs serial
+        return self._place_many_serial(addresses)
+
+    def _place_many_serial(self, addresses: Sequence[int]) -> List[str]:
+        """Single-process batch engine: the scalar loop by default."""
         place = self.place
         return [place(address) for address in addresses]
 

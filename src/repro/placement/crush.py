@@ -25,6 +25,7 @@ pools — the effect the baseline bench quantifies.
 
 from __future__ import annotations
 
+import abc
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,7 +40,7 @@ MAX_ATTEMPTS = 64
 Item = Union["Bucket", str]
 
 
-class Bucket:
+class Bucket(abc.ABC):
     """A weighted interior node of the crush map."""
 
     kind = "abstract"
@@ -60,9 +61,9 @@ class Bucket:
         """Total weight of the bucket (used by parent buckets)."""
         return sum(self.weights)
 
+    @abc.abstractmethod
     def choose(self, address: int, replica: int, attempt: int) -> Item:
         """Select one item for (ball, replica, retry attempt)."""
-        raise NotImplementedError
 
     def _base(self, *parts) -> int:
         """Precomputable salt base for this bucket (+ item label parts)."""

@@ -21,6 +21,7 @@ Both support multiple virtual points per bin to sharpen concentration.
 
 from __future__ import annotations
 
+import abc
 import math
 from typing import List, Sequence, Tuple
 
@@ -56,8 +57,9 @@ class _DistancePlacer(SingleCopyPlacer):
                 )
                 self._points.append((position, spec.bin_id, weight))
 
+    @abc.abstractmethod
     def _distance(self, raw: float, weight: float) -> float:
-        raise NotImplementedError
+        """Weighted distance of a ball draw to one ring point."""
 
     def place(self, address: int) -> str:
         ball = unit_interval(self._namespace, "ball", address)

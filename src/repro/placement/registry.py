@@ -8,6 +8,13 @@ need extra topology (RUSH wants sub-clusters, the hierarchical variant
 wants racks) are deliberately absent: they cannot be built from a flat
 bin list.
 
+:func:`create` is the **canonical public factory**: every consumer that
+builds a strategy from a name — the CLI, ``repro stats``, ``repro
+chaos``, the throughput bench — goes through it, so name resolution,
+alias handling and fixed-``copies`` strategies behave identically
+everywhere.  The older :func:`build_strategy` spelling is kept as a
+deprecated shim.
+
 Each entry records whether the strategy has a *vectorized* ``place_many``
 engine; the bench uses that flag to pick its address population and to
 assert that vectorization never loses to the scalar loop.
@@ -15,6 +22,7 @@ assert that vectorization never loses to the scalar loop.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -149,8 +157,44 @@ def lookup(name: str) -> StrategyEntry:
     )
 
 
+def create(
+    name: str, bins: Sequence[BinSpec], *, copies: int = 2
+) -> ReplicationStrategy:
+    """Build the strategy registered under ``name`` (or an alias).
+
+    This is the canonical construction path for every name-addressed
+    strategy: it resolves aliases, honours fixed replication degrees
+    (``lin-mirror`` is k = 2 whatever was requested) and builds with the
+    registry's uniform ``(bins, copies)`` shape.  Prefer it over importing
+    and instantiating strategy classes ad hoc — call sites built through
+    the registry keep working when entries are renamed or re-parameterised.
+
+    Args:
+        name: Canonical strategy name or alias (see :func:`strategy_names`).
+        bins: Device specs to place over.
+        copies: Requested replication degree ``k`` (keyword-only; ignored
+            by strategies with a fixed degree).
+
+    Raises:
+        KeyError: for unknown names, listing the accepted ones.
+        ConfigurationError: if the entry rejects the bins/copies combination.
+    """
+    return lookup(name).build(bins, copies)
+
+
 def build_strategy(
     name: str, bins: Sequence[BinSpec], copies: int
 ) -> ReplicationStrategy:
-    """Build the strategy registered under ``name`` (or an alias)."""
-    return lookup(name).build(bins, copies)
+    """Deprecated spelling of :func:`create`.
+
+    .. deprecated::
+        Use ``create(name, bins, copies=...)`` — the keyword-only signature
+        the rest of the library standardised on.
+    """
+    warnings.warn(
+        "build_strategy() is deprecated; use "
+        "repro.placement.registry.create(name, bins, copies=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create(name, bins, copies=copies)

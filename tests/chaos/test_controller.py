@@ -1,0 +1,234 @@
+"""Tests for the chaos controller: determinism, durability, degradation."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosOptions,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    RepairPolicy,
+    generate_schedule,
+    run_chaos,
+)
+from repro.cluster import Cluster
+from repro.core import RedundantShare
+from repro.exceptions import InfeasibleRedundancyError
+from repro.types import bins_from_capacities
+
+CAPACITIES = [60, 60, 60, 60, 60, 60]
+
+
+def make_cluster(copies=3, capacities=CAPACITIES, blocks=40):
+    cluster = Cluster(
+        bins_from_capacities(list(capacities), prefix="dev"),
+        lambda bins: RedundantShare(bins, copies=copies),
+    )
+    for address in range(blocks):
+        cluster.write(address, f"block-{address}".encode())
+    return cluster
+
+
+def mixed_schedule(cluster, seed=7):
+    return generate_schedule(
+        cluster.device_ids(),
+        seed=seed,
+        duration=20.0,
+        crashes=1,
+        outages=1,
+        flaky=1,
+    )
+
+
+def final_map(cluster):
+    return {a: cluster.placement_of(a) for a in cluster.addresses()}
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self):
+        first = make_cluster()
+        second = make_cluster()
+        report_a = run_chaos(first, mixed_schedule(first), ChaosOptions(seed=7))
+        report_b = run_chaos(second, mixed_schedule(second), ChaosOptions(seed=7))
+        assert first.log.as_tuples() == second.log.as_tuples()
+        assert report_a.repair_order == report_b.repair_order
+        assert report_a.samples == report_b.samples
+        assert final_map(first) == final_map(second)
+
+    def test_repair_order_prioritises_endangered_blocks(self):
+        # With one crash every lost share has the same survivor count, so
+        # the order must be (address, position)-sorted — a pure function
+        # of the queue contents.
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-0")]
+        )
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=0))
+        assert report.repair_order == sorted(report.repair_order)
+
+
+class TestSingleFailureSurvival:
+    def test_k3_survives_any_single_crash_with_zero_loss(self):
+        for victim in [f"dev-{i}" for i in range(len(CAPACITIES))]:
+            cluster = make_cluster(copies=3)
+            schedule = FaultSchedule(
+                [FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id=victim)]
+            )
+            report = run_chaos(cluster, schedule, ChaosOptions(seed=1))
+            assert not report.data_loss, f"lost blocks crashing {victim}"
+            cluster.verify()
+            for address in cluster.addresses():
+                assert cluster.read(address) == f"block-{address}".encode()
+
+    def test_post_repair_fairness_passes_chi_square(self):
+        cluster = make_cluster(copies=3, blocks=60)
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-2")]
+        )
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=1, alpha=0.01))
+        assert report.fairness is not None
+        assert report.fairness.accepted
+
+    def test_repairs_complete_and_are_counted(self):
+        cluster = make_cluster(copies=3)
+        lost = len(cluster.shares_on("dev-1"))
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-1")]
+        )
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=1))
+        assert report.completed == lost
+        assert report.repair_throughput > 0
+        assert report.durability is not None
+        assert report.durability.mttr > 0
+
+
+class TestTransientFaults:
+    def test_outage_never_loses_data(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.OUTAGE,
+                    device_id="dev-3", duration=5.0,
+                )
+            ]
+        )
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=0))
+        assert not report.data_loss
+        assert report.completed == 0  # nothing to repair: data was intact
+        cluster.verify()
+        # The outage shows up in the at-risk samples, then clears.
+        assert report.peak_at_risk > 0
+        assert report.samples[-1][1] == 0
+
+    def test_flaky_survivors_force_retries_with_backoff(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.FLAKY, device_id="dev-1",
+                    duration=12.0, error_rate=0.6, latency=0.5,
+                ),
+                FaultEvent(time=2.0, kind=FaultKind.CRASH, device_id="dev-0"),
+            ]
+        )
+        # Backoff spacing means a task can only burn ~7 attempts inside
+        # the 12-unit flaky window; with a 12-attempt budget every task
+        # outlasts the window and succeeds once the device heals.
+        report = run_chaos(
+            cluster,
+            schedule,
+            ChaosOptions(
+                seed=3,
+                policy=RepairPolicy(rate=16.0, max_attempts=12, timeout=100.0),
+            ),
+        )
+        assert report.retries > 0
+        assert not report.abandoned
+        assert report.attempts == report.completed + report.retries + len(
+            report.abandoned
+        )
+        assert not report.data_loss
+        cluster.verify()
+
+    def test_exhausted_retries_are_abandoned_not_raised(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.FLAKY, device_id="dev-1",
+                    duration=200.0, error_rate=0.95, latency=0.0,
+                ),
+                FaultEvent(time=2.0, kind=FaultKind.CRASH, device_id="dev-0"),
+            ]
+        )
+        report = run_chaos(
+            cluster,
+            schedule,
+            ChaosOptions(
+                seed=2,
+                policy=RepairPolicy(rate=8.0, max_attempts=2, timeout=500.0),
+            ),
+        )
+        assert report.abandoned, "0.95 error rate with 2 attempts must abandon"
+        for error in report.abandoned:
+            assert error.attempts == 2
+
+
+class TestShrink:
+    def test_feasible_shrink_rebalances(self):
+        cluster = make_cluster(copies=2, capacities=[80, 80, 80, 80, 80])
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.SHRINK, device_id="dev-4")]
+        )
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=0))
+        assert "dev-4" not in cluster.device_ids()
+        assert not report.data_loss
+        cluster.verify()
+
+    def test_infeasible_shrink_raises_typed_error(self):
+        # Removing a small device leaves k*b_0 > B: dominated by dev-0.
+        cluster = make_cluster(copies=2, capacities=[100, 40, 40], blocks=20)
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.SHRINK, device_id="dev-1")]
+        )
+        with pytest.raises(InfeasibleRedundancyError, match="Lemma 2.1"):
+            run_chaos(cluster, schedule, ChaosOptions(seed=0))
+        # Gate fired before any data moved.
+        assert sorted(cluster.device_ids()) == ["dev-0", "dev-1", "dev-2"]
+
+    def test_allow_degraded_overrides_the_gate(self):
+        cluster = make_cluster(copies=2, capacities=[100, 40, 40], blocks=20)
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.SHRINK, device_id="dev-1")]
+        )
+        report = run_chaos(
+            cluster, schedule, ChaosOptions(seed=0, allow_degraded=True)
+        )
+        assert "dev-1" not in cluster.device_ids()
+        assert not report.data_loss
+        cluster.verify()
+
+
+class TestDataLossAccounting:
+    def test_simultaneous_crashes_beyond_tolerance_record_losses(self):
+        cluster = make_cluster(copies=2, blocks=40)
+        # Two crashes in the same instant with k=2: blocks with both
+        # copies on the victims are unrecoverable and must be reported.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-0"),
+                FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-1"),
+            ]
+        )
+        both = {
+            address
+            for address in cluster.addresses()
+            if set(cluster.placement_of(address)) == {"dev-0", "dev-1"}
+        }
+        report = run_chaos(cluster, schedule, ChaosOptions(seed=0))
+        assert {loss.address for loss in report.loss_events} == both
+        # Blocks with one surviving copy were still repaired.
+        survivors = set(cluster.addresses()) - both
+        repaired = {address for address, _ in report.repair_order}
+        assert repaired.issubset(survivors)

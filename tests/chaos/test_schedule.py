@@ -1,0 +1,157 @@
+"""Tests for seeded fault schedules (generation, validation, round-trip)."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultKind, FaultSchedule, generate_schedule
+from repro.exceptions import ConfigurationError
+
+DEVICES = [f"d{i}" for i in range(8)]
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=-1.0, kind=FaultKind.CRASH, device_id="d0")
+
+    def test_transient_faults_need_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultEvent(time=0.0, kind=FaultKind.OUTAGE, device_id="d0")
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultEvent(time=0.0, kind=FaultKind.FLAKY, device_id="d0")
+
+    def test_rejects_error_rate_of_one(self):
+        with pytest.raises(ConfigurationError, match="error_rate"):
+            FaultEvent(
+                time=0.0,
+                kind=FaultKind.FLAKY,
+                device_id="d0",
+                duration=1.0,
+                error_rate=1.0,
+            )
+
+    def test_round_trips_through_dict(self):
+        event = FaultEvent(
+            time=2.5,
+            kind=FaultKind.FLAKY,
+            device_id="d3",
+            duration=4.0,
+            error_rate=0.4,
+            latency=0.5,
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            FaultEvent.from_dict({"time": 1.0, "kind": "melt", "device": "d0"})
+
+    def test_from_dict_rejects_missing_key(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            FaultEvent.from_dict({"kind": "crash", "device": "d0"})
+
+
+class TestFaultSchedule:
+    def test_orders_events_by_time(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=5.0, kind=FaultKind.CRASH, device_id="d1"),
+                FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="d2"),
+            ]
+        )
+        assert [e.time for e in schedule] == [1.0, 5.0]
+
+    def test_rejects_faults_after_permanent_loss(self):
+        with pytest.raises(ConfigurationError, match="permanent"):
+            FaultSchedule(
+                [
+                    FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="d0"),
+                    FaultEvent(
+                        time=2.0,
+                        kind=FaultKind.OUTAGE,
+                        device_id="d0",
+                        duration=1.0,
+                    ),
+                ]
+            )
+
+    def test_allows_transient_fault_before_crash(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=1.0, kind=FaultKind.FLAKY, device_id="d0",
+                    duration=5.0, error_rate=0.2,
+                ),
+                FaultEvent(time=3.0, kind=FaultKind.CRASH, device_id="d0"),
+            ]
+        )
+        assert len(schedule) == 2
+
+    def test_duration_covers_the_longest_window(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=2.0, kind=FaultKind.OUTAGE, device_id="d0",
+                    duration=6.0,
+                ),
+                FaultEvent(time=7.0, kind=FaultKind.CRASH, device_id="d1"),
+            ]
+        )
+        assert schedule.duration == 8.0
+
+    def test_json_round_trip(self):
+        schedule = generate_schedule(
+            DEVICES, seed=11, crashes=2, outages=1, flaky=1
+        )
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_from_json_accepts_bare_list(self):
+        schedule = FaultSchedule.from_json(
+            '[{"time": 1.0, "kind": "crash", "device": "d0"}]'
+        )
+        assert len(schedule) == 1
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            FaultSchedule.from_json("{nope")
+        with pytest.raises(ConfigurationError, match="faults"):
+            FaultSchedule.from_json('{"other": 1}')
+
+
+class TestGenerateSchedule:
+    def test_same_seed_same_schedule(self):
+        first = generate_schedule(DEVICES, seed=5, crashes=2, outages=2, flaky=1)
+        second = generate_schedule(DEVICES, seed=5, crashes=2, outages=2, flaky=1)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            generate_schedule(DEVICES, seed=seed, crashes=2, outages=1).to_json()
+            for seed in range(6)
+        }
+        assert len(schedules) > 1
+
+    def test_device_order_does_not_matter(self):
+        forward = generate_schedule(DEVICES, seed=3, crashes=2)
+        backward = generate_schedule(list(reversed(DEVICES)), seed=3, crashes=2)
+        assert forward == backward
+
+    def test_victims_are_distinct(self):
+        schedule = generate_schedule(
+            DEVICES, seed=1, crashes=3, outages=3, flaky=2
+        )
+        victims = [event.device_id for event in schedule]
+        assert len(victims) == len(set(victims)) == 8
+
+    def test_rejects_more_faults_than_devices(self):
+        with pytest.raises(ConfigurationError, match="victims"):
+            generate_schedule(["d0", "d1"], crashes=3)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            generate_schedule(DEVICES, duration=0.0)
+
+    def test_times_stay_inside_the_horizon(self):
+        schedule = generate_schedule(
+            DEVICES, seed=9, duration=10.0, crashes=2, outages=2, flaky=2
+        )
+        for event in schedule:
+            assert 0.0 <= event.time < 10.0

@@ -83,6 +83,30 @@ class TestScrubber:
         # Still corrupt afterwards.
         assert Scrubber(cluster, index).scrub(repair=False).corrupt == 1
 
+    def test_detect_only_reports_every_corrupt_unrepaired_share(self):
+        cluster = make_cluster()
+        fill(cluster)
+        index = ChecksumIndex()
+        index.capture(cluster)
+        victims = []
+        for address in (2, 9, 17):
+            placement = cluster.placement_of(address)
+            corrupt_share(cluster, placement[0], (address, 0))
+            victims.append((placement[0], (address, 0)))
+        report = Scrubber(cluster, index).scrub(repair=False)
+        # Every corruption is named, none is touched, none is written off
+        # as unrepairable — detect-only defers the decision to the caller.
+        assert report.corrupt == 3
+        assert report.repaired == 0
+        assert report.unrepairable == 0
+        assert sorted(report.corrupt_keys) == sorted(victims)
+        # A repairing scrub afterwards heals exactly those shares.
+        healing = Scrubber(cluster, index).scrub()
+        assert healing.corrupt == 3
+        assert healing.repaired == 3
+        for address in (2, 9, 17):
+            assert cluster.read(address) == f"data-{address}".encode() * 2
+
     def test_repairs_rs_shares_from_parity(self):
         code = ReedSolomonCode(3, 2)
         cluster = Cluster(

@@ -6,6 +6,7 @@ from repro.core import FastRedundantShare, LinMirror, RedundantShare
 from repro.placement import (
     TrivialReplication,
     build_strategy,
+    create,
     registered_strategies,
     strategy_names,
 )
@@ -42,14 +43,40 @@ def test_unknown_name_raises_with_choices():
         lookup("definitely-not-a-strategy")
 
 
-def test_build_honours_copies_and_fixed_copies():
-    assert build_strategy("redundant-share", BINS, 3).copies == 3
-    assert isinstance(build_strategy("fast", BINS, 3), FastRedundantShare)
-    assert isinstance(build_strategy("trivial", BINS, 3), TrivialReplication)
+def test_create_honours_copies_and_fixed_copies():
+    assert create("redundant-share", BINS, copies=3).copies == 3
+    assert isinstance(create("fast", BINS, copies=3), FastRedundantShare)
+    assert isinstance(create("trivial", BINS, copies=3), TrivialReplication)
     # LinMirror is k = 2 by definition, whatever was requested.
-    mirror = build_strategy("lin-mirror", BINS, 5)
+    mirror = create("lin-mirror", BINS, copies=5)
     assert isinstance(mirror, LinMirror)
     assert mirror.copies == 2
+
+
+def test_create_defaults_to_mirroring():
+    assert create("redundant-share", BINS).copies == 2
+
+
+def test_build_strategy_is_a_deprecated_alias():
+    with pytest.warns(DeprecationWarning, match="create"):
+        strategy = build_strategy("redundant-share", BINS, 3)
+    assert strategy.copies == 3
+
+
+def test_single_copy_and_replication_share_the_batch_signature():
+    # Every registered strategy accepts the unified keyword signature;
+    # single-copy placers expose the same shape (serial fallback).
+    from repro.placement import RendezvousPlacer
+
+    for entry in registered_strategies():
+        strategy = entry.build(BINS, 3)
+        batch = strategy.place_many(range(8), workers=None)
+        assert batch.tuples() == [strategy.place(a) for a in range(8)]
+    placer = RendezvousPlacer(BINS)
+    assert placer.place_many(range(8), workers=None) == [
+        placer.place(a) for a in range(8)
+    ]
+    assert placer.place_many(range(8), workers=4) == placer.place_many(range(8))
 
 
 def test_every_entry_builds_and_places():

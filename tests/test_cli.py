@@ -98,3 +98,91 @@ class TestCli:
         assert "placement.batch" in kinds
         assert "rebalance.done" in kinds
         assert "failure.round" in kinds
+
+
+class TestChaosCli:
+    def test_chaos_smoke(self, capsys):
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60,60,60", "--blocks", "40",
+             "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repairs completed" in out
+        assert "blocks at risk over time" in out
+        assert "chaos.repair.completed" in out
+
+    def test_chaos_strict_passes_on_zero_loss(self, capsys):
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60,60,60", "--blocks", "40",
+             "--copies", "3", "--seed", "1", "--outages", "0", "--flaky", "0",
+             "--strict"]
+        ) == 0
+        assert "blocks lost          0" in capsys.readouterr().out
+
+    def test_chaos_strict_fails_on_data_loss(self, capsys, tmp_path):
+        # k=2 with two simultaneous crashes: some blocks must be lost.
+        schedule = tmp_path / "schedule.json"
+        schedule.write_text(
+            '{"faults": ['
+            '{"time": 1.0, "kind": "crash", "device": "dev-0"},'
+            '{"time": 1.0, "kind": "crash", "device": "dev-1"}]}'
+        )
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60", "--blocks", "40",
+             "--copies", "2", "--schedule", str(schedule), "--strict"]
+        ) == 1
+        assert "data-loss events" in capsys.readouterr().out
+
+    def test_chaos_schedule_file_round_trip(self, capsys, tmp_path):
+        from repro.chaos import generate_schedule
+
+        devices = [f"dev-{i}" for i in range(5)]
+        schedule = tmp_path / "schedule.json"
+        schedule.write_text(
+            generate_schedule(devices, seed=3, crashes=1, outages=1).to_json()
+        )
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60,60", "--blocks", "30",
+             "--schedule", str(schedule)]
+        ) == 0
+        assert "schedule (2 faults" in capsys.readouterr().out
+
+    def test_chaos_rejects_bad_schedule_file(self, tmp_path):
+        schedule = tmp_path / "broken.json"
+        schedule.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot load schedule"):
+            main(
+                ["chaos", "--capacities", "60,60,60", "--schedule",
+                 str(schedule)]
+            )
+
+    def test_chaos_seed_from_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "23")
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60,60,60", "--blocks", "30"]
+        ) == 0
+        assert "seed=23" in capsys.readouterr().out
+
+    def test_chaos_infeasible_shrink_aborts(self, capsys, tmp_path):
+        schedule = tmp_path / "shrink.json"
+        schedule.write_text(
+            '{"faults": [{"time": 1.0, "kind": "shrink", "device": "dev-1"}]}'
+        )
+        assert main(
+            ["chaos", "--capacities", "100,40,40", "--copies", "2",
+             "--blocks", "20", "--schedule", str(schedule)]
+        ) == 1
+        assert "Lemma 2.1" in capsys.readouterr().out
+
+    def test_chaos_jsonl_export(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "chaos.jsonl")
+        assert main(
+            ["chaos", "--capacities", "60,60,60,60,60,60", "--blocks", "30",
+             "--seed", "7", "--jsonl", path]
+        ) == 0
+        kinds = {record["kind"] for record in read_jsonl(path)}
+        assert "chaos.fault" in kinds
+        assert "chaos.sample" in kinds
+        assert "chaos.finished" in kinds
