@@ -7,9 +7,10 @@ machine-readable result goes to ``BENCH_placement.json`` (latest run)
 and a timestamped record is appended to ``BENCH_history.jsonl`` so the
 trajectory across commits is queryable, not just the endpoint.
 
-Headline assertions (NumPy installed, full scale): ``RedundantShare``,
-``FastRedundantShare`` and ``TrivialReplication`` at k = 3 must place a
-≥100k-address batch at least 10x faster than the scalar loop.  At any
+Headline assertions (NumPy installed, full scale): every strategy with a
+shared-kernel batch engine must clear its per-strategy speedup target on
+a ≥100k-address batch — 10x for the score-matrix and table engines, 3x
+for CRUSH (whose collision retries keep a scalar-ish tail).  At any
 scale, a registry entry flagged ``vectorized`` must never lose to the
 scalar loop — a speedup below 1x is the regression this table exists to
 catch, and it both warns loudly and fails.
@@ -46,8 +47,18 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = ROOT / "BENCH_placement.json"
 HISTORY = ROOT / "BENCH_history.jsonl"
 
-#: Strategies whose batch engine must clear 10x at full scale.
-HEADLINE = ("redundant-share-k3", "fast-redundant-share-k3", "trivial-k3")
+#: Minimum full-scale speedup per vectorized strategy.  The score-matrix
+#: and table-gather engines must clear 10x; CRUSH's masked-reselection
+#: engine re-draws a shrinking collision tail per retry, so its floor is
+#: 3x.
+SPEEDUP_TARGETS = {
+    "redundant-share-k3": 10.0,
+    "fast-redundant-share-k3": 10.0,
+    "trivial-k3": 10.0,
+    "balanced-rendezvous-k3": 10.0,
+    "weighted-striping-k3": 10.0,
+    "crush-k3": 3.0,
+}
 
 
 def _row_name(entry):
@@ -75,6 +86,7 @@ def measure(entry):
         "addresses": addresses,
         "copies": entry.effective_copies(COPIES),
         "vectorized": entry.vectorized,
+        "kernel": entry.kernel,
         "scalar_per_sec": round(addresses / scalar_seconds),
         "batch_per_sec": round(addresses / batch_seconds),
         "speedup": round(scalar_seconds / batch_seconds, 2),
@@ -94,10 +106,11 @@ def test_batch_throughput_table(benchmark):
 
     emit(
         "Batch placement throughput (addresses/sec, 12 heterogeneous disks)",
-        ["strategy", "addresses", "scalar/s", "batch/s", "speedup"],
+        ["strategy", "kernel", "addresses", "scalar/s", "batch/s", "speedup"],
         [
             [
                 name,
+                row["kernel"] or "-",
                 row["addresses"],
                 row["scalar_per_sec"],
                 row["batch_per_sec"],
@@ -140,8 +153,9 @@ def test_batch_throughput_table(benchmark):
     )
 
     if ADDRESSES >= 100_000:
-        for name in HEADLINE:
+        for name, target in SPEEDUP_TARGETS.items():
             row = results[name]
-            assert row["speedup"] >= 10.0, (
-                f"{name}: vectorized engine only {row['speedup']}x faster"
+            assert row["speedup"] >= target, (
+                f"{name}: vectorized engine only {row['speedup']}x faster "
+                f"(target {target}x)"
             )

@@ -33,21 +33,44 @@ insertion can permute positions even when the copy *set* barely changes
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from .. import obs
+from .._compat import get_numpy
 from ..capacity.clipping import clip_capacities
-from ..hashing.primitives import derive_base, unit_from_base_open
-from ..placement.base import ReplicationStrategy
+from ..hashing.primitives import as_u64_array, derive_base, unit_from_base_open
+from ..placement import kernels, precompute
+from ..placement.base import BatchPlacement, ReplicationStrategy, record_batch
 from ..types import BinSpec, Placement, sort_bins_by_capacity
 
 #: Fair demands within this distance of 1 are treated as saturated.
 _PIN_EPS = 1e-9
 
 
+class _RaceBundle:
+    """Shareable vector mirror of one calibrated race configuration.
+
+    Holds the pinned rank prefix plus the salt-base / calibrated-weight /
+    rank vectors the batch engine races over.  Calibration is
+    deterministic per configuration, so instances with the same
+    fingerprint built under the same placement epoch share one bundle via
+    :func:`repro.placement.precompute.shared_cache`.
+    """
+
+    __slots__ = ("pinned_ranks", "bases", "weights", "race_ranks")
+
+    def __init__(self, pinned_ranks, bases, weights, race_ranks) -> None:
+        self.pinned_ranks = pinned_ranks
+        self.bases = bases
+        self.weights = weights
+        self.race_ranks = race_ranks
+
+
 class BalancedRendezvous(ReplicationStrategy):
     """Top-k rendezvous with pinned saturated bins and calibrated weights."""
 
     name = "balanced-rendezvous"
+    kernel = "hrw-topk"
 
     def __init__(
         self,
@@ -102,10 +125,19 @@ class BalancedRendezvous(ReplicationStrategy):
             bin_id: max(target, 1e-12)
             for bin_id, target in self._race_targets.items()
         }
+        self._calibration = (
+            calibration_samples, calibration_iterations, calibration_rate
+        )
         if self._race_copies > 0 and calibration_samples > 0:
             self._calibrate(
                 calibration_samples, calibration_iterations, calibration_rate
             )
+        self._rank_ids = [spec.bin_id for spec in self._bins]
+        self._rank_index = {
+            bin_id: rank for rank, bin_id in enumerate(self._rank_ids)
+        }
+        self._epoch = precompute.current_epoch()
+        self._vector: Optional[_RaceBundle] = None
 
     @property
     def pinned_bins(self) -> List[str]:
@@ -151,6 +183,105 @@ class BalancedRendezvous(ReplicationStrategy):
         if self._race_copies > 0:
             placement.extend(self._race(address)[: self._race_copies])
         return tuple(placement)
+
+    # ------------------------------------------------------------------
+    # Batch placement
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self) -> tuple:
+        """Everything the calibrated race state depends on."""
+        return (
+            "balanced-rendezvous",
+            self._namespace,
+            self._copies,
+            self._calibration,
+            tuple((spec.bin_id, spec.capacity) for spec in self._bins),
+        )
+
+    def _ensure_vector_state(self, np) -> _RaceBundle:
+        """Attach this instance to its epoch-keyed race bundle (see
+        :class:`_RaceBundle`); consulted once, on the first batch call."""
+        bundle = self._vector
+        if bundle is not None:
+            return bundle
+        cache = precompute.shared_cache()
+        fingerprint = self._fingerprint()
+        bundle = cache.get(fingerprint, self._epoch)
+        if bundle is None:
+            race_ids = list(self._weights)
+            bundle = cache.put(
+                fingerprint,
+                self._epoch,
+                _RaceBundle(
+                    pinned_ranks=[
+                        self._rank_index[bin_id] for bin_id in self._pinned
+                    ],
+                    bases=np.asarray(
+                        [self._bases[bin_id] for bin_id in race_ids],
+                        dtype=np.uint64,
+                    ),
+                    weights=np.asarray(
+                        [self._weights[bin_id] for bin_id in race_ids],
+                        dtype=np.float64,
+                    ),
+                    race_ranks=np.asarray(
+                        [self._rank_index[bin_id] for bin_id in race_ids],
+                        dtype=np.int64,
+                    ),
+                ),
+            )
+        self._vector = bundle
+        return bundle
+
+    def _place_many_serial(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Vectorized top-k race: one blocked score matrix per batch.
+
+        The pinned prefix is constant by construction; the remaining
+        copies fall out of ``race_copies`` guarded without-replacement
+        argmax passes over a single ``-w / ln(u)`` score matrix — exactly
+        the expression the scalar :meth:`_race` sorts by.  Rows where any
+        draw was decided inside :data:`~repro.placement.kernels.TIE_GUARD`
+        (which includes every exact score tie, where the scalar sort
+        breaks ties by bin id instead of column order) are re-derived by
+        :meth:`place`, keeping the batch element-wise identical to the
+        scalar loop.  Without NumPy the generic scalar loop runs.
+        """
+        np = get_numpy()
+        if np is None:
+            return super()._place_many_serial(addresses)
+        bundle = self._ensure_vector_state(np)
+        addr = as_u64_array(addresses)
+        count = addr.shape[0]
+        columns = np.empty((self._copies, count), dtype=np.int64)
+        for position, rank in enumerate(bundle.pinned_ranks):
+            columns[position, :] = rank
+        offset = len(bundle.pinned_ranks)
+        unsafe_indices: List[int] = []
+        if self._race_copies > 0:
+            for start, stop in kernels.blocks(count):
+                mixed = kernels.premix(addr[start:stop])
+                uniforms = kernels.open_draw_matrix(bundle.bases, mixed)
+                scores = kernels.hrw_score_matrix(bundle.weights, uniforms)
+                winners, unsafe = kernels.topk_with_guard(
+                    scores, self._race_copies
+                )
+                for draw, draw_winners in enumerate(winners):
+                    columns[offset + draw, start:stop] = bundle.race_ranks[
+                        draw_winners
+                    ]
+                unsafe_indices.extend(start + np.flatnonzero(unsafe))
+        for index in unsafe_indices:
+            # Near-tie: the scalar sort is the authority on this address.
+            placement = self.place(int(addresses[index]))
+            for position, bin_id in enumerate(placement):
+                columns[position, index] = self._rank_index[bin_id]
+        kernels.record_tie_recomputes(self.kernel, len(unsafe_indices))
+        sink = obs.sink()
+        if sink.enabled:
+            record_batch(
+                sink, self.name, self._copies, count, kernel=self.kernel
+            )
+        return BatchPlacement(self._rank_ids, list(columns))
 
     def expected_shares(self) -> Dict[str, float]:
         """Fair targets (the calibration objective; residual error is

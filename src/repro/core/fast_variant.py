@@ -28,13 +28,12 @@ from .. import obs
 from .._compat import get_numpy
 from ..hashing.alias import CumulativeTable
 from ..hashing.primitives import (
-    _INV_2_64,
     as_u64_array,
     derive_base,
-    splitmix64_array,
     unit_from_base,
     unit_from_base_open,
 )
+from ..placement import kernels
 from ..placement.base import BatchPlacement, ReplicationStrategy, record_batch
 from ..types import BinSpec, Placement
 from ..placement import precompute
@@ -81,6 +80,7 @@ class FastRedundantShare(ReplicationStrategy):
     """
 
     name = "fast-redundant-share"
+    kernel = "cdf-gather"
 
     def __init__(
         self,
@@ -359,7 +359,7 @@ class FastRedundantShare(ReplicationStrategy):
         """The NumPy engine: per copy, gather draws grouped by state."""
         addr = as_u64_array(addresses)
         count = addr.shape[0]
-        mixed = splitmix64_array(addr)
+        mixed = kernels.premix(addr)
         columns = np.empty((self._copies, count), dtype=np.int64)
         previous = np.full(count, -1, dtype=np.int64)
         for copy in range(self._copies):
@@ -371,18 +371,17 @@ class FastRedundantShare(ReplicationStrategy):
                 if cumulative is None:
                     out[chosen] = forced
                 else:
-                    state = splitmix64_array(base ^ mixed[chosen])
-                    draws = (
-                        splitmix64_array(state).astype(np.float64) * _INV_2_64
-                    )
-                    out[chosen] = prev_rank + 1 + np.searchsorted(
-                        cumulative, draws, side="right"
+                    draws = kernels.draws_from_premixed(base, mixed[chosen])
+                    out[chosen] = prev_rank + 1 + kernels.cdf_gather(
+                        cumulative, draws
                     )
             columns[copy] = out
             previous = out
         sink = obs.sink()
         if sink.enabled:
-            record_batch(sink, self.name, self._copies, count)
+            record_batch(
+                sink, self.name, self._copies, count, kernel=self.kernel
+            )
         return BatchPlacement(self._rank_ids, list(columns))
 
     def _np_state(self, np, copy: int, previous_rank: int) -> tuple:

@@ -30,12 +30,11 @@ from .._compat import get_numpy
 from ..capacity.clipping import clip_capacities, is_capacity_efficient
 from ..exceptions import InfeasibleReplicationError
 from ..hashing.primitives import (
-    _INV_2_64,
     as_u64_array,
     derive_base,
-    splitmix64_array,
     unit_from_base,
 )
+from ..placement import kernels
 from ..placement.base import BatchPlacement, ReplicationStrategy, record_batch
 from ..types import BinSpec, Placement, sort_bins_by_capacity
 from .preprocess import HazardTable, compute_hazards
@@ -50,6 +49,7 @@ class RedundantShare(ReplicationStrategy):
     """k-fold replicated placement with fairness and redundancy."""
 
     name = "redundant-share"
+    kernel = "hazard-scan"
 
     def __init__(
         self,
@@ -238,7 +238,9 @@ class RedundantShare(ReplicationStrategy):
         engines reduce to this same aggregate, so traces and histograms
         are identical between the NumPy and pure-Python legs.
         """
-        record_batch(sink, self.name, self._copies, batch_size)
+        record_batch(
+            sink, self.name, self._copies, batch_size, kernel=self.kernel
+        )
         if not depth_counts:
             return
         histogram = obs.metrics().histogram("placement.scan_depth")
@@ -266,7 +268,7 @@ class RedundantShare(ReplicationStrategy):
         count = addr.shape[0]
         # The per-address premix is shared by every draw of the batch:
         # u64_from_base(base, a) == sm64(sm64(base ^ sm64(a))).
-        mixed = splitmix64_array(addr)
+        mixed = kernels.premix(addr)
         position = np.zeros(count, dtype=np.int64)
         columns = np.empty((self._copies, count), dtype=np.int64)
         bin_count = len(self._rank_ids)
@@ -283,9 +285,8 @@ class RedundantShare(ReplicationStrategy):
                 if rank >= deadline or hazard >= 1.0:
                     taken = at_rank
                 else:
-                    state = splitmix64_array(copy_bases[rank] ^ mixed[at_rank])
-                    draws = (
-                        splitmix64_array(state).astype(np.float64) * _INV_2_64
+                    draws = kernels.draws_from_premixed(
+                        int(copy_bases[rank]), mixed[at_rank]
                     )
                     taken = at_rank[draws < hazard]
                 position[at_rank] = rank + 1

@@ -37,18 +37,33 @@ SHARD_MIN_ADDRESSES = 4096
 
 
 def record_batch(
-    sink: "obs.TraceSink", strategy_name: str, copies: int, batch_size: int
+    sink: "obs.TraceSink",
+    strategy_name: str,
+    copies: int,
+    batch_size: int,
+    kernel: Optional[str] = None,
 ) -> None:
     """Record one ``place_many`` invocation on an *enabled* sink.
 
     Shared by the default loop and the strategies' vectorized overrides so
     the ``placement.batch`` event schema stays identical across engines
     (the pure-Python/NumPy equivalence tests compare traces byte-wise).
+    ``kernel`` is the strategy's :attr:`ReplicationStrategy.kernel` family
+    name; it describes the *logical* engine, so both legs record the same
+    per-kernel counters whichever one actually ran.
     """
     registry = obs.metrics()
     registry.counter("placement.batches").add(1)
     registry.counter("placement.addresses").add(batch_size)
     registry.histogram("placement.batch_size").observe(batch_size)
+    if kernel:
+        registry.counter(f"placement.kernel.{kernel}.batches").add(1)
+        registry.counter(f"placement.kernel.{kernel}.addresses").add(
+            batch_size
+        )
+        registry.histogram(f"placement.kernel.{kernel}.batch_size").observe(
+            batch_size
+        )
     sink.emit(
         "placement.batch",
         strategy=strategy_name,
@@ -221,6 +236,13 @@ class ReplicationStrategy(abc.ABC):
 
     name: str = "replication"
 
+    #: Name of the shared-kernel family the strategy's batch engine is
+    #: built on (see :mod:`repro.placement.kernels`), or None for the
+    #: generic per-address loop.  Used for the per-kernel obs counters
+    #: and reported by the throughput bench; it labels the *logical*
+    #: engine, so it stays set even when the pure-Python leg runs.
+    kernel: Optional[str] = None
+
     def __init__(
         self, bins: Sequence[BinSpec], copies: int, namespace: str = ""
     ) -> None:
@@ -314,7 +336,10 @@ class ReplicationStrategy(abc.ABC):
                 columns[position].append(index[bin_id])
         sink = obs.sink()
         if sink.enabled:
-            record_batch(sink, self.name, self._copies, len(columns[0]))
+            record_batch(
+                sink, self.name, self._copies, len(columns[0]),
+                kernel=self.kernel,
+            )
         np = get_numpy()
         if np is not None:
             return BatchPlacement(
@@ -385,7 +410,9 @@ class ReplicationStrategy(abc.ABC):
                 shm.unlink()
         sink = obs.sink()
         if sink.enabled:
-            record_batch(sink, self.name, self._copies, count)
+            record_batch(
+                sink, self.name, self._copies, count, kernel=self.kernel
+            )
             registry = obs.metrics()
             registry.counter("placement.shards").add(len(results))
             histogram = registry.histogram("placement.shard_ms")

@@ -29,10 +29,13 @@ import abc
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
+from .._compat import get_numpy
 from ..exceptions import ConfigurationError, PlacementError
-from ..hashing.primitives import derive_base, unit_from_base_open
+from ..hashing.primitives import as_u64_array, derive_base, unit_from_base_open
 from ..types import BinSpec, Placement
-from .base import ReplicationStrategy
+from . import kernels, precompute
+from .base import BatchPlacement, ReplicationStrategy, record_batch
 
 #: Maximum collision retries per replica before giving up.
 MAX_ATTEMPTS = 64
@@ -224,10 +227,28 @@ def make_bucket(
     return bucket_cls(name, items, weights)
 
 
+class _StrawBundle:
+    """Shareable vector mirror of a flat straw2 crush map.
+
+    The per-item salt bases, weights and bin-rank translation the batch
+    engine draws straws from; shared across instances of the same map
+    (same fingerprint, same placement epoch) via
+    :func:`repro.placement.precompute.shared_cache`.
+    """
+
+    __slots__ = ("bases", "weights", "item_ranks")
+
+    def __init__(self, bases, weights, item_ranks) -> None:
+        self.bases = bases
+        self.weights = weights
+        self.item_ranks = item_ranks
+
+
 class CrushStrategy(ReplicationStrategy):
     """``choose firstn`` replica selection over a crush map."""
 
     name = "crush"
+    kernel = "straw2-descent"
 
     def __init__(
         self,
@@ -266,6 +287,18 @@ class CrushStrategy(ReplicationStrategy):
                 f"extra={sorted(leaf_ids - bin_ids)}"
             )
         self._root = root
+        self._rank_ids = [spec.bin_id for spec in self._bins]
+        self._rank_index = {
+            bin_id: rank for rank, bin_id in enumerate(self._rank_ids)
+        }
+        # The batch engine handles the common flat map — a single straw2
+        # bucket over the devices (the implicit default).  Hierarchies and
+        # other bucket types keep the generic scalar loop.
+        self._flat_straw2 = isinstance(root, Straw2Bucket) and all(
+            isinstance(item, str) for item in root.items
+        )
+        self._epoch = precompute.current_epoch()
+        self._vector: Optional[_StrawBundle] = None
 
     @property
     def root(self) -> Bucket:
@@ -296,6 +329,118 @@ class CrushStrategy(ReplicationStrategy):
             chosen.append(device)
             taken.add(device)
         return tuple(chosen)
+
+    # ------------------------------------------------------------------
+    # Batch placement
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self) -> tuple:
+        """Everything the flat straw2 vector state depends on."""
+        return (
+            "crush",
+            self._namespace,
+            self._copies,
+            self._root.name,
+            tuple(self._root.items),
+            tuple(self._root.weights),
+        )
+
+    def _ensure_vector_state(self, np) -> _StrawBundle:
+        """Attach this instance to its epoch-keyed straw bundle."""
+        bundle = self._vector
+        if bundle is not None:
+            return bundle
+        cache = precompute.shared_cache()
+        fingerprint = self._fingerprint()
+        bundle = cache.get(fingerprint, self._epoch)
+        if bundle is None:
+            root = self._root
+            bundle = cache.put(
+                fingerprint,
+                self._epoch,
+                _StrawBundle(
+                    bases=np.asarray(root._bases, dtype=np.uint64),
+                    weights=np.asarray(root.weights, dtype=np.float64),
+                    item_ranks=np.asarray(
+                        [self._rank_index[item] for item in root.items],
+                        dtype=np.int64,
+                    ),
+                ),
+            )
+        self._vector = bundle
+        return bundle
+
+    def _place_many_serial(self, addresses: Sequence[int]) -> BatchPlacement:
+        """Vectorized flat straw2 descent with masked retry tail.
+
+        Per replica the whole block shares one folded hash state (the
+        address premix and replica fold are reused across retries); each
+        retry attempt then re-draws straws *only for the rows whose
+        winner collided* — the scalar loop's ``choose firstn`` semantics
+        with the per-attempt work shrinking to the collision tail.  Rows
+        where any straw race was decided inside
+        :data:`~repro.placement.kernels.TIE_GUARD`, and rows that exhaust
+        :data:`MAX_ATTEMPTS` (where the scalar loop raises), are settled
+        by :meth:`place` so the batch stays element-wise identical —
+        including the :class:`PlacementError`.  Hierarchical maps,
+        non-straw2 roots and the no-NumPy leg use the generic loop.
+        """
+        np = get_numpy()
+        if np is None or not self._flat_straw2:
+            return super()._place_many_serial(addresses)
+        bundle = self._ensure_vector_state(np)
+        addr = as_u64_array(addresses)
+        count = addr.shape[0]
+        items = bundle.bases.shape[0]
+        columns = np.empty((self._copies, count), dtype=np.int64)
+        unsafe_indices: List[int] = []
+        for start, stop in kernels.blocks(count):
+            mixed = kernels.premix(addr[start:stop])
+            block = stop - start
+            premixed = kernels.state_matrix(bundle.bases, mixed)
+            taken = np.zeros((block, items), dtype=bool)
+            unsafe = np.zeros(block, dtype=bool)
+            for replica in range(self._copies):
+                states = kernels.fold_salt(premixed, replica)
+                pending = np.arange(block)
+                out = np.zeros(block, dtype=np.int64)
+                for attempt in range(MAX_ATTEMPTS):
+                    if pending.size == 0:
+                        break
+                    draws = kernels.open_draws_from_state(
+                        kernels.fold_salt(states[pending], attempt)
+                    )
+                    straws = kernels.straw2_score_matrix(
+                        bundle.weights, draws
+                    )
+                    winners, attempt_unsafe = kernels.argmax_with_guard(
+                        straws
+                    )
+                    unsafe[pending[attempt_unsafe]] = True
+                    collided = taken[pending, winners]
+                    accepted = pending[~collided]
+                    out[accepted] = winners[~collided]
+                    taken[accepted, winners[~collided]] = True
+                    pending = pending[collided]
+                if pending.size:
+                    # Exhausted retries: the scalar loop raises here, so
+                    # route these rows through it below.
+                    unsafe[pending] = True
+                columns[replica, start:stop] = bundle.item_ranks[out]
+            unsafe_indices.extend(start + np.flatnonzero(unsafe))
+        for index in unsafe_indices:
+            # Near-tie or exhaustion: the scalar walk is the authority
+            # (and raises PlacementError exactly where it would).
+            placement = self.place(int(addresses[index]))
+            for position, bin_id in enumerate(placement):
+                columns[position, index] = self._rank_index[bin_id]
+        kernels.record_tie_recomputes(self.kernel, len(unsafe_indices))
+        sink = obs.sink()
+        if sink.enabled:
+            record_batch(
+                sink, self.name, self._copies, count, kernel=self.kernel
+            )
+        return BatchPlacement(self._rank_ids, list(columns))
 
 
 def _collect_leaves(node: Item) -> List[str]:

@@ -1,0 +1,309 @@
+"""Shared vectorized placement kernels.
+
+Every batch engine in this library is assembled from the same handful of
+idioms, first proven one strategy at a time (the Algorithm 2/4 hazard
+scan in :mod:`repro.core.redundant_share`, the ``searchsorted`` gather in
+:mod:`repro.core.fast_variant`, the masked rendezvous races in
+:mod:`repro.placement.trivial`) and now extracted here so new strategies
+port onto tested building blocks instead of re-deriving them:
+
+* **Single-pass SplitMix64 premix** — :func:`premix` mixes the address
+  vector once; every subsequent draw is then pure integer work
+  (``u64_from_base(base, a) == sm64(sm64(base ^ sm64(a)))``), shared by
+  all (copy, bin) draws of the batch.
+* **Blocked score matrices** — :func:`blocks` carves the batch into
+  :data:`BLOCK`-sized slices so the (addresses × bins) float64 matrices
+  stay L2-sized; results are independent per address, so blocking can
+  never change them.
+* **Draw matrices** — :func:`open_draw_matrix` evaluates
+  ``unit_from_base_open(base_j, a_i)`` for a whole block at once,
+  bit-for-bit identical to the scalar pipeline (the uint64 → float64
+  rounding is the same in both).
+* **Guarded selection** — :func:`argmax_with_guard` /
+  :func:`topk_with_guard` implement masked (without-replacement) argmax
+  races with the sub-ulp :data:`TIE_GUARD` contract below.
+* **CDF gather** — :func:`cdf_gather` runs
+  :meth:`repro.hashing.alias.CumulativeTable.select` as one
+  ``searchsorted`` over *exactly* the scalar table's boundaries.
+
+The ``TIE_GUARD`` contract
+--------------------------
+
+NumPy's SIMD ``log`` may differ from ``math.log`` by 1 ulp, so a
+vectorized score race can disagree with its scalar reference when two
+scores are within ~1e-15 relative of each other.  The kernels therefore
+never decide close calls: any row whose winning margin is at most
+``abs(best) * TIE_GUARD`` is reported back as *unsafe*, and the calling
+strategy re-derives that address with its scalar ``place()`` — the
+scalar loop is always the authority.  Margins above the guard are
+provably identical under both logs, so the batch stays bit-exact without
+giving up the vectorized bulk.  Strategy authors porting onto these
+kernels must (a) compare like with like — the vector leg must compute
+the *same float expression* as the scalar loop, e.g. ``(-w) / log(u)``,
+not ``-w * (1 / log(u))`` — and (b) route every unsafe row through the
+scalar path before publishing the batch.
+
+Legs
+----
+
+Every kernel has a NumPy leg and a pure-Python leg, switched on
+:func:`repro._compat.get_numpy` exactly like
+:mod:`repro.hashing.primitives` (so ``REPRO_PURE_PYTHON=1`` flips both
+at once).  The pure legs return plain lists with element-wise identical
+values; strategies normally bypass them (their pure fallback is the
+scalar ``place()`` loop), but the kernel tests pin the equivalence so
+either leg can serve as the oracle for the other.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from .. import obs
+from .._compat import get_numpy
+from ..hashing.primitives import (
+    _INV_2_64,
+    _MASK64,
+    as_u64_array,
+    splitmix64,
+    splitmix64_array,
+)
+
+#: Relative score margin below which a vectorized race defers to the
+#: scalar loop (see "The TIE_GUARD contract" above).
+TIE_GUARD = 1e-9
+
+#: Addresses per vector block.  The engines materialise several
+#: (addresses × bins) float64 matrices per draw; blocking keeps that
+#: working set around L2-sized so throughput does not collapse to main
+#: memory bandwidth on large batches.
+BLOCK = 8192
+
+
+def blocks(count: int, block: int = BLOCK) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` slices covering ``range(count)`` block-wise."""
+    for start in range(0, count, block):
+        yield start, min(start + block, count)
+
+
+def premix(addresses: Sequence[int]):
+    """SplitMix64-mix an address vector once, for reuse by every draw.
+
+    Returns a ``uint64`` array (NumPy leg) or a list of ints (pure leg);
+    either way element ``i`` equals ``splitmix64(addresses[i] & 2**64-1)``
+    — the inner mix of ``u64_from_base``, shared across all bases.
+    """
+    np = get_numpy()
+    if np is None:
+        return [splitmix64(address & _MASK64) for address in addresses]
+    return splitmix64_array(as_u64_array(addresses))
+
+
+def draws_from_premixed(base: int, mixed):
+    """Closed-interval ``[0, 1)`` draws for one salt base over premixed
+    addresses.
+
+    Element ``i`` equals ``unit_from_base(base, a_i)`` where ``mixed[i]``
+    is ``premix([a_i, ...])[i]``; used by the hazard-scan and CDF-gather
+    engines, which consume plain (non-open) uniforms.
+    """
+    np = get_numpy()
+    if np is None:
+        return [
+            splitmix64(splitmix64(base ^ value)) * _INV_2_64
+            for value in mixed
+        ]
+    state = splitmix64_array(splitmix64_array(np.uint64(base) ^ mixed))
+    return state.astype(np.float64) * _INV_2_64
+
+
+def state_matrix(bases, mixed):
+    """First ``u64_from_base`` fold: rows = addresses, cols = bases.
+
+    Entry ``(i, j)`` equals ``sm64(bases[j] ^ sm64(a_i))`` — the hash
+    state after folding the address, before any further per-draw values.
+    Multi-value draws (CRUSH's ``(address, replica, attempt)``) fold the
+    remaining values in with :func:`fold_salt` and finish with
+    :func:`open_draws_from_state`; single-value draws can go straight to
+    the finisher (that composition is :func:`open_draw_matrix`).
+    """
+    np = get_numpy()
+    if np is None:
+        return [
+            [splitmix64(base ^ value) for base in bases] for value in mixed
+        ]
+    return splitmix64_array(
+        np.asarray(bases, dtype=np.uint64)[None, :] ^ mixed[:, None]
+    )
+
+
+def fold_salt(states, salt: int):
+    """Fold one scalar draw value into running ``u64_from_base`` states.
+
+    Element-wise ``sm64(state ^ sm64(salt))`` over an array (or nested
+    list) of states — one step of the ``u64_from_base`` chain with the
+    same ``salt`` for the whole batch, e.g. CRUSH's replica index or
+    retry attempt.
+    """
+    np = get_numpy()
+    mixed_salt = splitmix64(salt & _MASK64)
+    if np is None:
+        def _fold(item):
+            if isinstance(item, list):
+                return [_fold(entry) for entry in item]
+            return splitmix64(item ^ mixed_salt)
+
+        return _fold(states)
+    return splitmix64_array(states ^ np.uint64(mixed_salt))
+
+
+def open_draws_from_state(states):
+    """Finish ``u64_from_base`` states into open-interval ``(0, 1)`` draws.
+
+    Element-wise ``(sm64(state) | 1) * 2**-64`` — the final mix plus the
+    open-interval mapping of ``unit_from_base_open``, bit-for-bit.
+    """
+    np = get_numpy()
+    if np is None:
+        def _draw(item):
+            if isinstance(item, list):
+                return [_draw(entry) for entry in item]
+            return (splitmix64(item) | 1) * _INV_2_64
+
+        return _draw(states)
+    state = splitmix64_array(states)
+    return (state | np.uint64(1)).astype(np.float64) * _INV_2_64
+
+
+def open_draw_matrix(bases, mixed):
+    """Open-interval ``(0, 1)`` draw matrix: rows = addresses, cols = bases.
+
+    Entry ``(i, j)`` equals ``unit_from_base_open(bases[j], a_i)`` — the
+    draw the scalar rendezvous/straw races consume.  NumPy leg returns a
+    float64 matrix; pure leg a list of per-address lists.
+    """
+    return open_draws_from_state(state_matrix(bases, mixed))
+
+
+def hrw_score_matrix(weights, uniforms):
+    """Rendezvous (highest-random-weight) scores ``-w / ln(u)``.
+
+    Computes exactly the scalar expression ``-weight / log(uniform)``
+    (unary minus on the weight, then one division) so clear-margin rows
+    agree with the scalar race bit-for-bit.
+    """
+    np = get_numpy()
+    if np is None:
+        return [
+            [-weight / math.log(uniform) for weight, uniform in zip(weights, row)]
+            for row in uniforms
+        ]
+    return (-np.asarray(weights, dtype=np.float64))[None, :] / np.log(uniforms)
+
+
+def straw2_score_matrix(weights, uniforms):
+    """CRUSH straw2 scores ``ln(u) / w`` (negative; closest to 0 wins)."""
+    np = get_numpy()
+    if np is None:
+        return [
+            [math.log(uniform) / weight for weight, uniform in zip(weights, row)]
+            for row in uniforms
+        ]
+    return np.log(uniforms) / np.asarray(weights, dtype=np.float64)[None, :]
+
+
+def argmax_with_guard(scores, guard: float = TIE_GUARD):
+    """Row-wise argmax plus the mask of rows the guard refuses to decide.
+
+    Returns ``(winners, unsafe)``: for each row the index of its maximum
+    entry (first index on exact ties, like the scalar ``>`` races), and
+    True where the margin over the runner-up is at most
+    ``abs(best) * guard`` — those rows must be settled by the caller's
+    scalar path.  **Consumes the winning entries**: on the NumPy leg the
+    per-row maxima are left at ``-inf`` so repeated calls implement a
+    without-replacement race (this is what the proven trivial-replication
+    engine does between draws); copy the matrix first if it must survive.
+    """
+    np = get_numpy()
+    if np is None:
+        winners: List[int] = []
+        unsafe: List[bool] = []
+        for row in scores:
+            best = -math.inf
+            runner = -math.inf
+            winner = 0
+            for index, score in enumerate(row):
+                if score > best:
+                    runner = best
+                    best = score
+                    winner = index
+                elif score > runner:
+                    runner = score
+            winners.append(winner)
+            unsafe.append((best - runner) <= abs(best) * guard)
+            row[winner] = -math.inf
+        return winners, unsafe
+    rows = np.arange(scores.shape[0])
+    winners = np.argmax(scores, axis=1)
+    best = scores[rows, winners]
+    scores[rows, winners] = -np.inf
+    runner = np.max(scores, axis=1) if scores.shape[1] else best
+    unsafe = (best - runner) <= np.abs(best) * guard
+    return winners, unsafe
+
+
+def topk_with_guard(scores, count: int, guard: float = TIE_GUARD):
+    """Top-``count`` without-replacement race over a score matrix.
+
+    Returns ``(winners, unsafe)`` where ``winners[d]`` holds the d-th
+    draw's per-row winner (descending score order, matching a scalar
+    sort) and ``unsafe`` flags rows where *any* draw was decided within
+    the guard.  Consumes ``scores`` (winners are masked to ``-inf``).
+    """
+    np = get_numpy()
+    winners = []
+    if np is None:
+        unsafe = [False] * len(scores)
+        for _ in range(count):
+            draw_winners, draw_unsafe = argmax_with_guard(scores, guard)
+            winners.append(draw_winners)
+            unsafe = [a or b for a, b in zip(unsafe, draw_unsafe)]
+        return winners, unsafe
+    unsafe = np.zeros(scores.shape[0], dtype=bool)
+    for _ in range(count):
+        draw_winners, draw_unsafe = argmax_with_guard(scores, guard)
+        winners.append(draw_winners)
+        unsafe |= draw_unsafe
+    return winners, unsafe
+
+
+def cdf_gather(boundaries, draws):
+    """Batch :meth:`~repro.hashing.alias.CumulativeTable.select`.
+
+    ``boundaries`` must be the table's own :meth:`boundaries` — sharing
+    the exact floats the scalar binary search compares against is what
+    makes the ``searchsorted`` gather bit-identical to it.
+    """
+    np = get_numpy()
+    if np is None:
+        import bisect
+
+        return [bisect.bisect_right(boundaries, draw) for draw in draws]
+    return np.searchsorted(
+        np.asarray(boundaries, dtype=np.float64), draws, side="right"
+    )
+
+
+def record_tie_recomputes(kernel: str, count: int) -> None:
+    """Count scalar re-derivations forced by the tie guard.
+
+    Only recorded when ``count > 0``: guard trips are astronomically rare
+    (sub-ulp margins), and recording zero would create the counter on the
+    NumPy leg only, breaking the byte-wise trace equivalence the obs
+    layer guarantees between legs.
+    """
+    if count and obs.sink().enabled:
+        obs.metrics().counter(
+            f"placement.kernel.{kernel}.tie_recomputes"
+        ).add(count)

@@ -44,6 +44,11 @@ class StrategyEntry:
     #: True when ``place_many`` runs a NumPy engine rather than the
     #: generic per-address loop (given NumPy is importable).
     vectorized: bool = False
+    #: Shared-kernel family the batch engine is built on (see
+    #: :mod:`repro.placement.kernels`); mirrors
+    #: :attr:`ReplicationStrategy.kernel` so reports need not build an
+    #: instance to label the engine.
+    kernel: Optional[str] = None
     aliases: Tuple[str, ...] = field(default=())
 
     def build(
@@ -73,23 +78,27 @@ def _build_registry() -> Dict[str, StrategyEntry]:
             "redundant-share",
             lambda bins, copies: RedundantShare(bins, copies=copies),
             vectorized=True,
+            kernel=RedundantShare.kernel,
         ),
         StrategyEntry(
             "lin-mirror",
             lambda bins, copies: LinMirror(bins),
             fixed_copies=2,
             vectorized=True,
+            kernel=LinMirror.kernel,
         ),
         StrategyEntry(
             "fast-redundant-share",
             lambda bins, copies: FastRedundantShare(bins, copies=copies),
             vectorized=True,
+            kernel=FastRedundantShare.kernel,
             aliases=("fast",),
         ),
         StrategyEntry(
             "trivial",
             lambda bins, copies: TrivialReplication(bins, copies=copies),
             vectorized=True,
+            kernel=TrivialReplication.kernel,
         ),
         StrategyEntry(
             "classic-lin-mirror",
@@ -99,15 +108,21 @@ def _build_registry() -> Dict[str, StrategyEntry]:
         StrategyEntry(
             "crush",
             lambda bins, copies: CrushStrategy(bins, copies=copies),
+            vectorized=True,
+            kernel=CrushStrategy.kernel,
         ),
         StrategyEntry(
             "weighted-striping",
             lambda bins, copies: WeightedStripingStrategy(bins, copies=copies),
+            vectorized=True,
+            kernel=WeightedStripingStrategy.kernel,
             aliases=("striping",),
         ),
         StrategyEntry(
             "balanced-rendezvous",
             lambda bins, copies: BalancedRendezvous(bins, copies=copies),
+            vectorized=True,
+            kernel=BalancedRendezvous.kernel,
         ),
     ]
     return {entry.name: entry for entry in entries}

@@ -28,31 +28,19 @@ from typing import Dict, List, Sequence
 from .. import obs
 from .._compat import get_numpy
 from ..hashing.primitives import (
-    _INV_2_64,
     as_u64_array,
     derive_base,
-    splitmix64_array,
     unit_from_base_open,
 )
 from ..types import BinSpec, Placement
+from . import kernels
 from .base import BatchPlacement, ReplicationStrategy, record_batch
 from .rendezvous import rendezvous_score
 
-#: Relative score margin below which the vectorized engine re-derives an
-#: address with the scalar loop.  NumPy's SIMD ``log`` may differ from
-#: ``math.log`` by 1 ulp (relative score error ~1e-15); any argmax whose
-#: winning margin exceeds this guard is therefore provably identical
-#: under both logs, and the (astronomically rare) closer calls are
-#: settled by the scalar path itself — keeping ``place_many`` bit-exact
-#: without giving up the vectorized bulk.
-_TIE_GUARD = 1e-9
-
-#: Addresses per vector block.  The engine materialises several
-#: (addresses x bins) float64 matrices per draw; blocking keeps that
-#: working set around L2-sized so throughput does not collapse to main
-#: memory bandwidth on large batches.  Results are independent per
-#: address, so blocking cannot change them.
-_BLOCK = 8192
+#: Historical home of the sub-ulp tie guard; the contract (and the
+#: value) now lives in :data:`repro.placement.kernels.TIE_GUARD`,
+#: shared by every strategy ported onto the kernel library.
+_TIE_GUARD = kernels.TIE_GUARD
 
 
 class TrivialReplication(ReplicationStrategy):
@@ -65,6 +53,7 @@ class TrivialReplication(ReplicationStrategy):
     """
 
     name = "trivial"
+    kernel = "masked-hrw"
 
     def __init__(self, bins, copies=2, namespace=""):
         """Precompute per-(draw, bin) salt bases on top of the base init."""
@@ -105,11 +94,13 @@ class TrivialReplication(ReplicationStrategy):
         """Vectorized Definition 2.3: k masked rendezvous races per batch.
 
         Each draw evaluates every (bin, address) score in one SplitMix64
-        pass plus one ``log``; bins already holding a copy of an address
-        are masked out before the per-address argmax, exactly mirroring
-        the scalar skip.  Element-wise identical to :meth:`place` — see
-        ``_TIE_GUARD`` for how sub-ulp log disagreements are kept out of
-        the result.  Without NumPy the generic scalar loop runs.
+        pass plus one ``log`` through the shared kernel library; bins
+        already holding a copy of an address are masked out before the
+        per-address argmax, exactly mirroring the scalar skip.
+        Element-wise identical to :meth:`place` — see
+        :data:`~repro.placement.kernels.TIE_GUARD` for how sub-ulp log
+        disagreements are kept out of the result.  Without NumPy the
+        generic scalar loop runs.
         """
         np = get_numpy()
         if np is None:
@@ -117,10 +108,7 @@ class TrivialReplication(ReplicationStrategy):
         addr = as_u64_array(addresses)
         count = addr.shape[0]
         bin_count = len(self._bins)
-        weights = np.asarray(
-            [weight for _, weight, _ in self._draw_entries[0]],
-            dtype=np.float64,
-        )
+        weights = [weight for _, weight, _ in self._draw_entries[0]]
         all_bases = [
             np.asarray(
                 [base for _, _, base in self._draw_entries[draw]],
@@ -130,27 +118,18 @@ class TrivialReplication(ReplicationStrategy):
         ]
         columns = np.empty((self._copies, count), dtype=np.int64)
         unsafe_indices = []
-        for start in range(0, count, _BLOCK):
-            stop = min(start + _BLOCK, count)
-            mixed = splitmix64_array(addr[start:stop])
+        for start, stop in kernels.blocks(count):
+            mixed = kernels.premix(addr[start:stop])
             block = stop - start
             taken = np.zeros((block, bin_count), dtype=bool)
             unsafe = np.zeros(block, dtype=bool)
             rows = np.arange(block)
             for draw in range(self._copies):
-                state = splitmix64_array(
-                    splitmix64_array(all_bases[draw][None, :] ^ mixed[:, None])
-                )
-                uniforms = (
-                    (state | np.uint64(1)).astype(np.float64) * _INV_2_64
-                )
-                scores = -weights[None, :] / np.log(uniforms)
+                uniforms = kernels.open_draw_matrix(all_bases[draw], mixed)
+                scores = kernels.hrw_score_matrix(weights, uniforms)
                 scores[taken] = -np.inf
-                winner = np.argmax(scores, axis=1)
-                best = scores[rows, winner]
-                scores[rows, winner] = -np.inf
-                runner_up = np.max(scores, axis=1)
-                unsafe |= (best - runner_up) <= best * _TIE_GUARD
+                winner, draw_unsafe = kernels.argmax_with_guard(scores)
+                unsafe |= draw_unsafe
                 columns[draw, start:stop] = winner
                 taken[rows, winner] = True
             unsafe_indices.extend(start + np.flatnonzero(unsafe))
@@ -159,9 +138,12 @@ class TrivialReplication(ReplicationStrategy):
             placement = self.place(int(addresses[index]))
             for position, bin_id in enumerate(placement):
                 columns[position, index] = self._rank_index[bin_id]
+        kernels.record_tie_recomputes(self.kernel, len(unsafe_indices))
         sink = obs.sink()
         if sink.enabled:
-            record_batch(sink, self.name, self._copies, count)
+            record_batch(
+                sink, self.name, self._copies, count, kernel=self.kernel
+            )
         return BatchPlacement(self._rank_ids, list(columns))
 
     def expected_shares(self) -> Dict[str, float]:

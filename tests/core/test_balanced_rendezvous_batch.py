@@ -1,0 +1,211 @@
+"""BalancedRendezvous batch engine: NumPy vs scalar vs pure-Python.
+
+The top-k race engine built on the shared kernels must be bit-identical
+to the scalar sort-based :meth:`place` for any configuration — including
+pinned (saturated) bins, all-pinned maps where no race runs at all, and
+exact score ties (which the scalar sort breaks by bin id, so the tie
+guard must defer them).  Also covers the epoch-keyed race bundle:
+instances over the same calibrated configuration share the weight/base
+vectors; a bumped epoch starts cold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._compat as compat
+from repro._compat import HAVE_NUMPY
+from repro.core.balanced_rendezvous import BalancedRendezvous
+from repro.placement import precompute
+from repro.types import bins_from_capacities
+
+capacities_vectors = st.lists(
+    st.integers(min_value=1, max_value=2_000), min_size=5, max_size=12
+)
+replication_degrees = st.integers(min_value=2, max_value=4)
+namespaces = st.sampled_from(["", "ns-a", "tenant/7"])
+address_lists = st.lists(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    min_size=0,
+    max_size=64,
+)
+
+#: Small Monte-Carlo population keeps per-example calibration cheap while
+#: still exercising the calibrated-weight path.
+CALIBRATION = dict(calibration_samples=400, calibration_iterations=4)
+
+
+def scalar_rows(strategy, addresses):
+    return [strategy.place(address) for address in addresses]
+
+
+class TestBatchEquivalence:
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        namespace=namespaces,
+        addresses=address_lists,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar(
+        self, capacities, copies, namespace, addresses
+    ):
+        strategy = BalancedRendezvous(
+            bins_from_capacities(capacities), copies=copies,
+            namespace=namespace, **CALIBRATION,
+        )
+        batch = strategy.place_many(addresses)
+        assert [tuple(row) for row in batch.tuples()] == scalar_rows(
+            strategy, addresses
+        )
+
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        addresses=address_lists,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_numpy_leg_matches_pure_python_leg(
+        self, capacities, copies, addresses
+    ):
+        bins = bins_from_capacities(capacities)
+
+        def run_leg():
+            precompute.clear_shared_cache()
+            strategy = BalancedRendezvous(bins, copies=copies, **CALIBRATION)
+            return [
+                tuple(row)
+                for row in strategy.place_many(addresses).tuples()
+            ]
+
+        numpy_rows = run_leg()
+        saved = compat.np
+        compat.np = None
+        try:
+            pure_rows = run_leg()
+        finally:
+            compat.np = saved
+        assert numpy_rows == pure_rows
+
+    def test_all_pinned_has_no_race(self):
+        # Two equal bins at k = 2 saturate both: every placement is the
+        # constant pinned tuple and the engine races nothing.
+        strategy = BalancedRendezvous(bins_from_capacities([10, 10]), copies=2)
+        assert strategy._race_copies == 0
+        addresses = list(range(-5, 50))
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+    def test_single_device_cluster(self):
+        strategy = BalancedRendezvous(bins_from_capacities([7]), copies=1)
+        addresses = [0, 1, -3, 2**63]
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+    def test_copies_equal_device_count(self):
+        strategy = BalancedRendezvous(
+            bins_from_capacities([5, 4, 3, 2]), copies=4, **CALIBRATION
+        )
+        addresses = list(range(200))
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+    def test_empty_batch(self):
+        strategy = BalancedRendezvous(
+            bins_from_capacities([5, 3, 2]), copies=2, **CALIBRATION
+        )
+        assert list(strategy.place_many([])) == []
+
+    def test_uncalibrated_ablation_matches_scalar(self):
+        strategy = BalancedRendezvous(
+            bins_from_capacities([9, 5, 2, 1]), copies=2,
+            calibration_samples=0,
+        )
+        addresses = list(range(500))
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector engine needs NumPy")
+def test_vector_engine_is_used_not_generic_loop(monkeypatch):
+    strategy = BalancedRendezvous(
+        bins_from_capacities([90, 70, 50, 30, 20]), copies=3, **CALIBRATION
+    )
+    calls = []
+    original = BalancedRendezvous.place
+
+    def counting_place(self, address):
+        calls.append(address)
+        return original(self, address)
+
+    monkeypatch.setattr(BalancedRendezvous, "place", counting_place)
+    count = 5_000
+    strategy.place_many(range(count))
+    assert len(calls) < count, (
+        "place_many consulted the scalar loop for every address — the "
+        "vectorized engine is not running"
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="bundle cache needs NumPy")
+class TestRaceBundle:
+    BINS = bins_from_capacities([120, 80, 200, 40, 160, 90])
+
+    def build(self, **overrides):
+        options = dict(copies=3, **CALIBRATION)
+        options.update(overrides)
+        return BalancedRendezvous(self.BINS, **options)
+
+    def test_lazy_until_first_batch(self):
+        strategy = self.build()
+        assert strategy._vector is None
+        strategy.place_many(range(32))
+        assert strategy._vector is not None
+
+    def test_same_epoch_instances_share_state(self):
+        precompute.clear_shared_cache()
+        first = self.build()
+        first.place_many(range(64))
+        before = precompute.shared_cache().info()
+        second = self.build()
+        second.place_many(range(64))
+        after = precompute.shared_cache().info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        assert second._vector is first._vector
+
+    def test_fingerprint_separates_configurations(self):
+        precompute.clear_shared_cache()
+        base = self.build()
+        base.place_many(range(16))
+        before = precompute.shared_cache().info()
+        for other in (
+            self.build(copies=2),
+            self.build(namespace="other"),
+            self.build(calibration_samples=500),
+            BalancedRendezvous(
+                bins_from_capacities([120, 80, 200, 40, 160, 91]),
+                copies=3, **CALIBRATION,
+            ),
+        ):
+            other.place_many(range(16))
+            assert other._vector is not base._vector
+        after = precompute.shared_cache().info()
+        assert after["misses"] == before["misses"] + 4
+
+    def test_bumped_epoch_starts_cold(self):
+        precompute.clear_shared_cache()
+        warm = self.build()
+        warm.place_many(range(64))
+        precompute.bump_epoch()
+        cold = self.build()
+        assert cold._epoch > warm._epoch
+        cold.place_many(range(64))
+        assert cold._vector is not warm._vector
+        assert cold.place_many(range(64)).tuples() == warm.place_many(
+            range(64)
+        ).tuples()

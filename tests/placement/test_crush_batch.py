@@ -1,0 +1,239 @@
+"""CrushStrategy batch engine: NumPy vs scalar vs pure-Python.
+
+The straw2-descent engine batches the per-replica straw races and
+re-draws only the collision tail per retry attempt; it must reproduce
+the scalar ``choose firstn`` walk exactly — including the
+:class:`PlacementError` when an address exhausts its retries, which
+heavily skewed small pools genuinely hit.  Hierarchical maps and
+non-straw2 roots stay on the generic loop but must agree with
+:meth:`place` all the same.  Also covers the epoch-keyed straw bundle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._compat as compat
+from repro._compat import HAVE_NUMPY
+from repro.exceptions import PlacementError
+from repro.placement import precompute
+from repro.placement.crush import CrushStrategy, two_level_map
+from repro.types import bins_from_capacities
+
+capacities_vectors = st.lists(
+    st.integers(min_value=1, max_value=2_000), min_size=4, max_size=12
+)
+replication_degrees = st.integers(min_value=2, max_value=4)
+namespaces = st.sampled_from(["", "ns-a", "tenant/7"])
+address_lists = st.lists(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    min_size=0,
+    max_size=64,
+)
+
+
+def scalar_rows(strategy, addresses):
+    return [strategy.place(address) for address in addresses]
+
+
+def assert_batch_matches_scalar(strategy, addresses):
+    """Batch equals the scalar loop — results and exhaustion errors."""
+    try:
+        expected = scalar_rows(strategy, addresses)
+    except PlacementError:
+        with pytest.raises(PlacementError):
+            strategy.place_many(addresses)
+        return
+    batch = strategy.place_many(addresses)
+    assert [tuple(row) for row in batch.tuples()] == expected
+
+
+class TestBatchEquivalence:
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        namespace=namespaces,
+        addresses=address_lists,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_scalar(
+        self, capacities, copies, namespace, addresses
+    ):
+        strategy = CrushStrategy(
+            bins_from_capacities(capacities), copies=copies,
+            namespace=namespace,
+        )
+        assert_batch_matches_scalar(strategy, addresses)
+
+    @given(
+        capacities=capacities_vectors,
+        copies=replication_degrees,
+        addresses=address_lists,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_numpy_leg_matches_pure_python_leg(
+        self, capacities, copies, addresses
+    ):
+        bins = bins_from_capacities(capacities)
+
+        def run_leg():
+            precompute.clear_shared_cache()
+            strategy = CrushStrategy(bins, copies=copies)
+            try:
+                rows = strategy.place_many(addresses).tuples()
+            except PlacementError:
+                return "exhausted"
+            return [tuple(row) for row in rows]
+
+        numpy_rows = run_leg()
+        saved = compat.np
+        compat.np = None
+        try:
+            pure_rows = run_leg()
+        finally:
+            compat.np = saved
+        assert numpy_rows == pure_rows
+
+    def test_collision_tail_with_copies_equal_device_count(self):
+        # k == n forces retries on nearly every address; a skewed pool
+        # also makes genuine exhaustion reachable, which must surface as
+        # the scalar loop's PlacementError for exactly those addresses.
+        strategy = CrushStrategy(bins_from_capacities([9, 7, 5, 3]), copies=4)
+        placeable = []
+        for address in range(2_000):
+            try:
+                strategy.place(address)
+                placeable.append(address)
+            except PlacementError:
+                pass
+        batch = strategy.place_many(placeable)
+        assert [tuple(row) for row in batch.tuples()] == scalar_rows(
+            strategy, placeable
+        )
+
+    def test_exhaustion_raises_like_scalar(self):
+        strategy = CrushStrategy(
+            bins_from_capacities([10_000, 1, 1, 1]), copies=4
+        )
+        exhausted = None
+        for address in range(5_000):
+            try:
+                strategy.place(address)
+            except PlacementError:
+                exhausted = address
+                break
+        assert exhausted is not None, "expected an exhausting address"
+        with pytest.raises(PlacementError, match=f"ball {exhausted} "):
+            strategy.place_many([exhausted])
+
+    def test_single_device_cluster(self):
+        strategy = CrushStrategy(bins_from_capacities([7]), copies=1)
+        addresses = [0, 1, -3, 2**63]
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+    def test_empty_batch(self):
+        strategy = CrushStrategy(bins_from_capacities([5, 3, 2]), copies=2)
+        assert list(strategy.place_many([])) == []
+
+    def test_hierarchical_map_falls_back_to_generic_loop(self):
+        bins = bins_from_capacities([90, 70, 50, 30, 20, 10])
+        root, flat = two_level_map({"r1": bins[:3], "r2": bins[3:]})
+        strategy = CrushStrategy(flat, copies=2, root=root)
+        assert not strategy._flat_straw2
+        addresses = list(range(300))
+        assert [tuple(row) for row in strategy.place_many(addresses)] == (
+            scalar_rows(strategy, addresses)
+        )
+
+    def test_non_straw2_root_falls_back_to_generic_loop(self):
+        for bucket_type in ("list", "tree"):
+            strategy = CrushStrategy(
+                bins_from_capacities([9, 7, 5, 3]), copies=2,
+                bucket_type=bucket_type,
+            )
+            assert not strategy._flat_straw2
+            addresses = list(range(200))
+            assert [
+                tuple(row) for row in strategy.place_many(addresses)
+            ] == scalar_rows(strategy, addresses)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector engine needs NumPy")
+def test_vector_engine_is_used_not_generic_loop(monkeypatch):
+    strategy = CrushStrategy(
+        bins_from_capacities([90, 70, 50, 30, 20]), copies=3
+    )
+    calls = []
+    original = CrushStrategy.place
+
+    def counting_place(self, address):
+        calls.append(address)
+        return original(self, address)
+
+    monkeypatch.setattr(CrushStrategy, "place", counting_place)
+    count = 5_000
+    strategy.place_many(range(count))
+    assert len(calls) < count, (
+        "place_many consulted the scalar loop for every address — the "
+        "vectorized engine is not running"
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="bundle cache needs NumPy")
+class TestStrawBundle:
+    BINS = bins_from_capacities([120, 80, 200, 40, 160, 90])
+
+    def build(self, **overrides):
+        options = dict(copies=3)
+        options.update(overrides)
+        return CrushStrategy(self.BINS, **options)
+
+    def test_lazy_until_first_batch(self):
+        strategy = self.build()
+        assert strategy._vector is None
+        strategy.place_many(range(32))
+        assert strategy._vector is not None
+
+    def test_same_epoch_instances_share_state(self):
+        precompute.clear_shared_cache()
+        first = self.build()
+        first.place_many(range(64))
+        before = precompute.shared_cache().info()
+        second = self.build()
+        second.place_many(range(64))
+        after = precompute.shared_cache().info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        assert second._vector is first._vector
+
+    def test_fingerprint_separates_configurations(self):
+        precompute.clear_shared_cache()
+        base = self.build()
+        base.place_many(range(16))
+        before = precompute.shared_cache().info()
+        for other in (
+            self.build(copies=2),
+            self.build(namespace="other"),
+            CrushStrategy(
+                bins_from_capacities([120, 80, 200, 40, 160, 91]), copies=3
+            ),
+        ):
+            other.place_many(range(16))
+            assert other._vector is not base._vector
+        after = precompute.shared_cache().info()
+        assert after["misses"] == before["misses"] + 3
+
+    def test_bumped_epoch_starts_cold(self):
+        precompute.clear_shared_cache()
+        warm = self.build()
+        warm.place_many(range(64))
+        precompute.bump_epoch()
+        cold = self.build()
+        assert cold._epoch > warm._epoch
+        cold.place_many(range(64))
+        assert cold._vector is not warm._vector
+        assert cold.place_many(range(64)).tuples() == warm.place_many(
+            range(64)
+        ).tuples()
