@@ -1,0 +1,168 @@
+"""Service lookup throughput — placement answers over real sockets.
+
+Starts the full service topology (metastore + one blockstore per
+device) in-process and drives it with concurrent clients, each on its
+own TCP connection, measuring ``where_are``/``where_is`` lookups per
+second.  This is the wire-tax companion to
+``bench_table_batch_throughput``: the same ``place_many`` engine
+answers, but every batch now pays JSON framing and a localhost round
+trip, and the table shows how that amortises with batch size and
+client concurrency.
+
+Rows: batched lookups (256 addresses per RPC) at 1, 4 and 8 concurrent
+clients, plus single-address ``where_is`` RPCs at 4 clients (the
+per-round-trip floor).  The acceptance gate — lookups/sec under at
+least 4 concurrent clients — lands in ``BENCH_history.jsonl`` next to
+the placement-throughput trajectory.
+
+``REPRO_BENCH_SERVICE_LOOKUPS`` scales the per-row lookup budget for
+smoke runs.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+
+from _tables import emit
+from repro.service import RpcConnection, ServiceCluster
+
+#: Lookups per batched row (split across the row's clients).
+LOOKUPS = int(os.environ.get("REPRO_BENCH_SERVICE_LOOKUPS", "") or 100_000)
+#: Addresses per where_are RPC in the batched rows.
+BATCH = 256
+#: Concurrency ladder for the batched rows.
+CLIENT_COUNTS = (1, 4, 8)
+#: Single-address RPCs are ~100x slower per lookup; scale the budget so
+#: the row costs about as much wall clock as a batched one.
+SINGLE_LOOKUPS = max(400, LOOKUPS // 100)
+
+COPIES = 3
+CAPACITIES = [500, 600, 700, 800, 900, 1000, 1100, 1200]
+STRATEGY = "redundant-share"
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+HISTORY = ROOT / "BENCH_history.jsonl"
+
+#: Conservative floors (localhost, shared CI runners): batched lookups
+#: must clear 10k/s under concurrency, single RPCs 200/s.
+BATCHED_FLOOR_PER_SEC = 10_000
+SINGLE_FLOOR_PER_SEC = 200
+
+
+async def _drive(host, port, clients, batch, total_lookups):
+    """Hammer the metastore from ``clients`` connections; lookups/sec."""
+    per_client = max(1, total_lookups // clients)
+    connections = [
+        await RpcConnection.open(host, port) for _ in range(clients)
+    ]
+
+    async def worker(index, connection):
+        base = index * per_client
+        done = 0
+        while done < per_client:
+            if batch == 1:
+                await connection.call("where_is", address=base + done)
+                done += 1
+            else:
+                size = min(batch, per_client - done)
+                await connection.call(
+                    "where_are",
+                    addresses=list(range(base + done, base + done + size)),
+                )
+                done += size
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(worker(i, conn) for i, conn in enumerate(connections))
+    )
+    elapsed = time.perf_counter() - start
+    for connection in connections:
+        await connection.close()
+    return per_client * clients, elapsed
+
+
+async def _experiment():
+    async with ServiceCluster.from_capacities(
+        CAPACITIES, copies=COPIES, strategy=STRATEGY
+    ) as cluster:
+        host, port = cluster.metastore_address
+        rows = {}
+        for clients in CLIENT_COUNTS:
+            lookups, elapsed = await _drive(host, port, clients, BATCH, LOOKUPS)
+            rows[f"where_are-b{BATCH}-c{clients}"] = {
+                "clients": clients,
+                "batch": BATCH,
+                "lookups": lookups,
+                "seconds": round(elapsed, 4),
+                "lookups_per_sec": round(lookups / elapsed),
+            }
+        lookups, elapsed = await _drive(host, port, 4, 1, SINGLE_LOOKUPS)
+        rows["where_is-b1-c4"] = {
+            "clients": 4,
+            "batch": 1,
+            "lookups": lookups,
+            "seconds": round(elapsed, 4),
+            "lookups_per_sec": round(lookups / elapsed),
+        }
+        return rows
+
+
+def test_service_throughput_table(benchmark):
+    """Measures served lookup rates and appends the history record."""
+    results = benchmark.pedantic(
+        lambda: asyncio.run(_experiment()), rounds=1, iterations=1
+    )
+
+    emit(
+        f"Service lookup throughput ({STRATEGY} k={COPIES}, "
+        f"{len(CAPACITIES)} blockstores, localhost TCP)",
+        ["row", "clients", "batch", "lookups", "seconds", "lookups/s"],
+        [
+            [
+                name,
+                row["clients"],
+                row["batch"],
+                row["lookups"],
+                f"{row['seconds']:.2f}",
+                row["lookups_per_sec"],
+            ]
+            for name, row in results.items()
+        ],
+    )
+
+    record = {
+        "benchmark": "bench_table_service_throughput",
+        "strategy": STRATEGY,
+        "copies": COPIES,
+        "devices": len(CAPACITIES),
+        "rows": results,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with HISTORY.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    for name, row in results.items():
+        benchmark.extra_info[f"{name}_lookups_per_sec"] = row[
+            "lookups_per_sec"
+        ]
+
+    # The acceptance gate: concurrent-client throughput is recorded and
+    # clears the floor.
+    concurrent = {
+        name: row
+        for name, row in results.items()
+        if row["clients"] >= 4 and row["batch"] > 1
+    }
+    assert concurrent, "bench must measure >= 4 concurrent clients"
+    for name, row in concurrent.items():
+        assert row["lookups_per_sec"] >= BATCHED_FLOOR_PER_SEC, (
+            f"{name}: {row['lookups_per_sec']}/s is below the "
+            f"{BATCHED_FLOOR_PER_SEC}/s batched floor"
+        )
+    single = results["where_is-b1-c4"]
+    assert single["lookups_per_sec"] >= SINGLE_FLOOR_PER_SEC, (
+        f"single-RPC rate {single['lookups_per_sec']}/s is below the "
+        f"{SINGLE_FLOOR_PER_SEC}/s floor"
+    )

@@ -24,17 +24,23 @@ experiments.
 """
 
 from .exceptions import (
+    BadFrameError,
     BlockNotFoundError,
     CapacityExceededError,
+    ChecksumMismatchError,
     ConfigurationError,
     DecodingError,
     DeviceNotFoundError,
     DeviceUnavailableError,
     InfeasibleRedundancyError,
     InfeasibleReplicationError,
+    OversizedFrameError,
     PlacementError,
     RepairTimeoutError,
     ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    TruncatedFrameError,
 )
 from .types import (
     Address,
@@ -49,20 +55,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Address",
+    "BadFrameError",
     "BinSpec",
     "BlockNotFoundError",
     "CapacityExceededError",
+    "ChecksumMismatchError",
     "ConfigurationError",
     "DecodingError",
     "DeviceNotFoundError",
     "DeviceUnavailableError",
     "InfeasibleRedundancyError",
     "InfeasibleReplicationError",
+    "OversizedFrameError",
     "Placement",
     "PlacementError",
     "RedundantShare",
     "RepairTimeoutError",
     "ReproError",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "TruncatedFrameError",
     "__version__",
     "bins_from_capacities",
     "relative_capacities",

@@ -366,6 +366,170 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(raw: str) -> tuple:
+    """Split a ``host:port`` endpoint, with CLI-grade errors."""
+    host, _, port_text = raw.rpartition(":")
+    if not host or not port_text:
+        raise SystemExit(f"endpoint must be host:port, got {raw!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"invalid port in endpoint {raw!r}")
+    if not 0 < port <= 65535:
+        raise SystemExit(f"port must be in [1, 65535], got {port}")
+    return host, port
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve placement + block storage: metastore plus N blockstores.
+
+    One process, one event loop: a blockstore shard per configured
+    device and a metastore answering ``where_is``/``where_are`` through
+    the registry factory.  Runs until interrupted (Ctrl-C).
+    """
+    import asyncio
+    import signal
+
+    from .exceptions import ConfigurationError
+    from .service import ServiceCluster
+
+    capacities = _parse_capacities(args.capacities)
+    if args.copies < 1:
+        raise SystemExit(f"--copies must be >= 1, got {args.copies}")
+    if args.port < 0 or args.port > 65535 - len(capacities):
+        raise SystemExit(
+            f"--port must leave room for {len(capacities)} blockstores "
+            f"above it, got {args.port}"
+        )
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    # Build the strategy eagerly so bad names / infeasible (bins, copies)
+    # combinations fail with a CLI error instead of a half-started service.
+    try:
+        create(args.strategy, bins, copies=args.copies)
+    except KeyError:
+        raise SystemExit(
+            f"unknown strategy {args.strategy!r}; choose from "
+            f"{sorted(strategy_names(include_aliases=True))}"
+        )
+    except ConfigurationError as error:
+        raise SystemExit(f"cannot serve this configuration: {error}")
+
+    async def _serve() -> int:
+        from .obs import JsonlSink, use_sink
+
+        cluster = ServiceCluster(
+            bins,
+            strategy=args.strategy,
+            copies=args.copies,
+            host=args.host,
+            port=args.port,
+        )
+        try:
+            await cluster.start()
+        except OSError as error:
+            raise SystemExit(
+                f"cannot bind {args.host}:{args.port}: {error}"
+            )
+        host, port = cluster.metastore_address
+        print(f"metastore    {host}:{port}  "
+              f"(strategy={cluster.metastore.strategy_name}, "
+              f"k={cluster.metastore.copies})")
+        for device_id, server in cluster.blockstores.items():
+            print(f"blockstore   {server.host}:{server.port}  {device_id}")
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host}:{port}\n")
+        print("serving; Ctrl-C to stop", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, signame, None)
+            if signum is None:  # pragma: no cover - platform specific
+                continue
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        try:
+            if args.jsonl:
+                with use_sink(JsonlSink(args.jsonl)):
+                    await stop.wait()
+            else:
+                await stop.wait()
+        finally:
+            await cluster.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+        return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running service: ping/where/put/get/metrics."""
+    import asyncio
+    import json as _json
+
+    from .exceptions import ReproError
+    from .service import ServiceClient
+
+    host, port = _parse_endpoint(args.connect)
+    needs_address = args.action in ("where", "put", "get")
+    if needs_address and args.address is None:
+        raise SystemExit(f"client {args.action} requires --address")
+    if args.action == "put" and args.payload is None:
+        raise SystemExit("client put requires --payload")
+
+    async def _run() -> int:
+        client = await ServiceClient.connect(host, port)
+        try:
+            if args.action == "ping":
+                await client.ping()
+                print(f"pong from {host}:{port} "
+                      f"(strategy={client.strategy_name}, k={client.copies})")
+            elif args.action == "where":
+                devices = await client.where_is(args.address)
+                print(" ".join(devices))
+            elif args.action == "put":
+                receipt = await client.put_block(
+                    args.address, args.payload.encode("utf-8")
+                )
+                print(
+                    f"stored {args.address} on "
+                    f"{len(receipt.positions_written)}/{len(receipt.devices)}"
+                    f" copies ({' '.join(receipt.devices)}) "
+                    f"checksum={receipt.checksum[:12]}"
+                )
+                if receipt.positions_skipped:
+                    print(
+                        f"degraded write: positions "
+                        f"{receipt.positions_skipped} unreachable"
+                    )
+            elif args.action == "get":
+                result = await client.get_block(args.address)
+                print(result.payload.decode("utf-8", errors="backslashreplace"))
+                if result.degraded:
+                    print(
+                        f"degraded read: fell back to position "
+                        f"{result.position_used} "
+                        f"(skipped {result.positions_skipped})"
+                    )
+            else:  # metrics
+                print(_json.dumps(await client.metrics(), indent=2,
+                                  sort_keys=True))
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def cmd_adaptivity(args: argparse.Namespace) -> int:
     """The Figure 3 add/remove experiment."""
     results = run_adaptivity(
@@ -532,6 +696,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on data loss or fairness rejection",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve placement + block storage over TCP"
+    )
+    p_serve.add_argument(
+        "--capacities",
+        default="500,600,700,800",
+        help="comma-separated device capacities (one blockstore each)",
+    )
+    p_serve.add_argument("--prefix", default="store", help="device name prefix")
+    p_serve.add_argument("--copies", type=int, default=3, help="replication k")
+    p_serve.add_argument("--strategy", default="redundant-share")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="metastore port; blockstores bind port+1..port+N "
+        "(0 = OS-assigned everywhere)",
+    )
+    p_serve.add_argument(
+        "--ready-file", default="",
+        help="write the metastore host:port here once listening "
+        "(lets scripts wait for readiness)",
+    )
+    p_serve.add_argument(
+        "--jsonl", default="", help="stream trace events to this file"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running repro serve instance"
+    )
+    p_client.add_argument(
+        "action", choices=("ping", "where", "put", "get", "metrics"),
+        help="what to do",
+    )
+    p_client.add_argument(
+        "--connect", required=True, help="metastore endpoint, host:port"
+    )
+    p_client.add_argument("--address", type=int, default=None)
+    p_client.add_argument(
+        "--payload", default=None, help="UTF-8 payload for put"
+    )
+    p_client.set_defaults(func=cmd_client)
 
     p_adapt = sub.add_parser("adaptivity", help="Figure 3 experiment")
     common(p_adapt, capacities=False)

@@ -76,6 +76,66 @@ class RepairTimeoutError(ReproError):
         self.attempts = attempts
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the network service layer.
+
+    Everything under :mod:`repro.service` — the wire codec, the metastore
+    and blockstore servers, and the client — raises subclasses of this, so
+    a frontend can catch one class for "the service misbehaved" while still
+    letting placement/configuration errors propagate unchanged.
+    """
+
+
+class BadFrameError(ServiceError):
+    """A wire frame violated the length-prefixed JSON protocol.
+
+    Raised for frames whose body is not valid JSON, frames with a zero
+    length prefix, or buffers with trailing bytes after a complete frame.
+    The two structural variants — a frame cut short and a frame larger
+    than the negotiated maximum — have dedicated subclasses so servers can
+    distinguish "peer went away mid-frame" from "peer is abusive".
+    """
+
+
+class TruncatedFrameError(BadFrameError):
+    """A frame ended before its declared length was read.
+
+    On a live connection this means the peer disconnected mid-frame; in
+    the codec it means the buffer holds an incomplete frame and the caller
+    should read more bytes before retrying.
+    """
+
+
+class OversizedFrameError(BadFrameError):
+    """A frame declared a length above the protocol's maximum.
+
+    The guard fires on the header alone — before any body bytes are read
+    or allocated — so a malicious or corrupt length prefix cannot force
+    the server to buffer gigabytes.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """No endpoint could serve the request right now.
+
+    The service-layer analogue of :class:`DeviceUnavailableError`: the
+    request was well-formed and the data may well exist, but every
+    endpoint that could answer — the metastore, or all ``k`` blockstores
+    holding a copy position of the block — was unreachable or errored.
+    Retrying later may succeed.
+    """
+
+
+class ChecksumMismatchError(ServiceError):
+    """A blockstore payload failed checksum verification.
+
+    Raised when stored bytes no longer match the checksum recorded at
+    write time (silent corruption), or when a fetched payload does not
+    match the checksum the server sent.  Clients treat an affected copy
+    position like an unavailable one and fall back to the next.
+    """
+
+
 class PlacementError(ReproError):
     """An individual placement lookup could not be completed.
 

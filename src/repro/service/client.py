@@ -1,0 +1,248 @@
+"""Service client: write ``k`` copies, read with degraded fallback.
+
+:class:`ServiceClient` is the storage-frontend side of the service.  It
+bootstraps from the metastore's ``config`` (replication degree plus the
+device-id → blockstore-endpoint map), asks ``where_is``/``where_are``
+for placements, and moves payloads with the same degradation semantics
+as the in-process recovery layer
+(:func:`repro.chaos.recovery.degraded_read`):
+
+* **Write** — put the payload to all ``k`` copy positions.  Unreachable
+  blockstores are *skipped, not fatal*: the write succeeds while at
+  least one copy lands, and the receipt reports which positions were
+  degraded so callers (and the chaos suite) can count exposure.
+* **Read** — try copy positions in placement order ``0..k-1``, falling
+  back to the next position when a blockstore is unreachable, the share
+  is missing (lost in a crash), or its checksum fails.  Only when every
+  position is exhausted does the read raise
+  :class:`~repro.exceptions.ServiceUnavailableError`.
+
+Checksums are verified end-to-end: the client re-hashes every fetched
+payload against the server-reported digest, so a corrupt frame or shard
+can never silently satisfy a read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import (
+    BlockNotFoundError,
+    ChecksumMismatchError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from .blockstore import checksum, decode_payload, encode_payload
+from .rpc import RpcConnection
+
+
+@dataclass
+class WriteReceipt:
+    """What one replicated write achieved.
+
+    Attributes:
+        address: The block address written.
+        devices: The full placement (one device id per copy position).
+        positions_written: Copy positions whose blockstore acknowledged.
+        positions_skipped: Positions skipped because their blockstore
+            was unreachable — the write-side degradation measure.
+        checksum: SHA-256 digest of the payload.
+    """
+
+    address: int
+    devices: List[str]
+    positions_written: List[int]
+    positions_skipped: List[int]
+    checksum: str
+
+    @property
+    def fully_replicated(self) -> bool:
+        """True when every copy position acknowledged the write."""
+        return not self.positions_skipped
+
+
+@dataclass
+class ServiceReadResult:
+    """What a (possibly degraded) service read saw.
+
+    Mirrors :class:`repro.chaos.recovery.DegradedReadResult`: ``payload``
+    plus which copy positions had to be skipped before one served.
+    """
+
+    payload: bytes
+    position_used: int
+    positions_skipped: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the primary copy position did not serve the read."""
+        return bool(self.positions_skipped)
+
+
+class ServiceClient:
+    """A storage frontend speaking to one metastore and its blockstores."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._metastore_endpoint = (host, port)
+        self._metastore: Optional[RpcConnection] = None
+        self._blockstores: Dict[str, Tuple[str, int]] = {}
+        self._connections: Dict[str, RpcConnection] = {}
+        self.copies = 0
+        self.strategy_name = ""
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        """Connect to the metastore and bootstrap from its config."""
+        client = cls(host, port)
+        client._metastore = await RpcConnection.open(host, port)
+        await client.refresh_config()
+        return client
+
+    async def refresh_config(self) -> None:
+        """Re-fetch the service topology from the metastore."""
+        config = await self._call_metastore("config")
+        self.copies = int(config.get("copies", 0))
+        self.strategy_name = str(config.get("strategy", ""))
+        endpoints = config.get("blockstores", {})
+        self._blockstores = {
+            device: (endpoint[0], int(endpoint[1]))
+            for device, endpoint in endpoints.items()
+        }
+
+    async def _call_metastore(self, op: str, **params):
+        if self._metastore is None:
+            raise ServiceError("client is not connected; use connect()")
+        return await self._metastore.call(op, **params)
+
+    async def _blockstore(self, device_id: str) -> RpcConnection:
+        """A (cached) connection to the blockstore backing ``device_id``."""
+        connection = self._connections.get(device_id)
+        if connection is not None and connection.connected:
+            return connection
+        try:
+            host, port = self._blockstores[device_id]
+        except KeyError:
+            raise ServiceUnavailableError(
+                f"no blockstore registered for device {device_id!r}"
+            ) from None
+        connection = await RpcConnection.open(host, port)
+        self._connections[device_id] = connection
+        return connection
+
+    # -- placement --------------------------------------------------------
+
+    async def where_is(self, address: int) -> List[str]:
+        """The ``k`` device ids holding ``address``, in copy order."""
+        result = await self._call_metastore("where_is", address=address)
+        return list(result["devices"])
+
+    async def where_are(self, addresses: Sequence[int]) -> List[List[str]]:
+        """Batch placement lookup (one ``place_many`` server-side)."""
+        result = await self._call_metastore(
+            "where_are", addresses=list(addresses)
+        )
+        return [list(devices) for devices in result["placements"]]
+
+    # -- data path ---------------------------------------------------------
+
+    async def put_block(self, address: int, payload: bytes) -> WriteReceipt:
+        """Write ``payload`` to every reachable copy position.
+
+        Raises:
+            ServiceUnavailableError: when *no* copy position accepted the
+                write — nothing was stored.
+        """
+        devices = await self.where_is(address)
+        digest = checksum(payload)
+        encoded = encode_payload(payload)
+        written: List[int] = []
+        skipped: List[int] = []
+        for position, device_id in enumerate(devices):
+            try:
+                connection = await self._blockstore(device_id)
+                await connection.call(
+                    "put",
+                    address=address,
+                    position=position,
+                    payload=encoded,
+                    checksum=digest,
+                )
+            except ServiceUnavailableError:
+                skipped.append(position)
+                continue
+            written.append(position)
+        if not written:
+            raise ServiceUnavailableError(
+                f"block {address}: no blockstore reachable for any of the "
+                f"{len(devices)} copy positions"
+            )
+        return WriteReceipt(
+            address=address,
+            devices=devices,
+            positions_written=written,
+            positions_skipped=skipped,
+            checksum=digest,
+        )
+
+    async def get_block(self, address: int) -> ServiceReadResult:
+        """Read ``address``, degrading across copy positions on failure.
+
+        Falls back to the next copy position when a blockstore is
+        unreachable, no longer holds the share, or serves bytes that fail
+        checksum verification — the wire twin of
+        :func:`repro.chaos.recovery.degraded_read`.
+
+        Raises:
+            ServiceUnavailableError: every copy position failed.
+        """
+        devices = await self.where_is(address)
+        skipped: List[int] = []
+        for position, device_id in enumerate(devices):
+            try:
+                connection = await self._blockstore(device_id)
+                result = await connection.call(
+                    "get", address=address, position=position
+                )
+            except (
+                ServiceUnavailableError,
+                BlockNotFoundError,
+                ChecksumMismatchError,
+            ):
+                skipped.append(position)
+                continue
+            payload = decode_payload(result["payload"])
+            if checksum(payload) != result.get("checksum"):
+                skipped.append(position)
+                continue
+            return ServiceReadResult(
+                payload=payload,
+                position_used=position,
+                positions_skipped=skipped,
+            )
+        raise ServiceUnavailableError(
+            f"block {address}: all {len(devices)} copy positions "
+            f"unavailable (skipped {skipped})"
+        )
+
+    async def metrics(self) -> Dict[str, object]:
+        """The metastore's metrics snapshot (service + process)."""
+        return dict(await self._call_metastore("metrics"))
+
+    async def ping(self) -> bool:
+        """Round-trip liveness probe of the metastore."""
+        result = await self._call_metastore("ping")
+        return bool(result.get("pong"))
+
+    async def close(self) -> None:
+        """Close the metastore and every cached blockstore connection."""
+        connections = list(self._connections.values())
+        self._connections.clear()
+        if self._metastore is not None:
+            connections.append(self._metastore)
+            self._metastore = None
+        await asyncio.gather(
+            *(connection.close() for connection in connections),
+            return_exceptions=True,
+        )

@@ -1,0 +1,120 @@
+"""Metastore: placement answers over the wire.
+
+The metadata half of the service.  It owns one strategy instance built
+through the canonical :func:`repro.placement.registry.create` factory —
+the same path the CLI and benches use — so a served answer is *the same
+computation* as a local one: ``where_is`` is ``strategy.place`` and
+``where_are`` is ``strategy.place_many`` (the columnar batch engine),
+with results bit-identical to a local call on equal ``(strategy, bins,
+copies)``.  The equivalence tests pin exactly that across every
+registered strategy.
+
+Ops::
+
+    where_is  {address}              -> {devices: [id, ...]}          # k ids
+    where_are {addresses}            -> {placements: [[id, ...], ...]}
+    config    {}                     -> {strategy, copies, bins, blockstores}
+
+plus the base ``ping``/``metrics``.  ``config`` is how a client
+bootstraps: it learns the replication degree and each device's
+blockstore endpoint in one round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import BadFrameError
+from ..placement.registry import create, lookup
+from ..types import BinSpec
+from .rpc import RpcServer, require
+
+#: Ceiling on one ``where_are`` batch; far above any sane request while
+#: bounding the work a single frame can demand.
+MAX_BATCH_ADDRESSES = 1_000_000
+
+
+class MetastoreServer(RpcServer):
+    """The placement/metadata server."""
+
+    kind = "metastore"
+
+    def __init__(
+        self,
+        bins: Sequence[BinSpec],
+        *,
+        strategy: str = "redundant-share",
+        copies: int = 3,
+        blockstores: Optional[Mapping[str, Tuple[str, int]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, port, **kwargs)
+        entry = lookup(strategy)  # KeyError with accepted names when unknown
+        self._bins = list(bins)
+        self.strategy_name = entry.name
+        self.copies = entry.effective_copies(copies)
+        self.strategy = create(entry.name, self._bins, copies=copies)
+        self._blockstores: Dict[str, Tuple[str, int]] = {
+            device: (endpoint[0], int(endpoint[1]))
+            for device, endpoint in (blockstores or {}).items()
+        }
+        self._handlers.update(
+            where_is=self._op_where_is,
+            where_are=self._op_where_are,
+            config=self._op_config,
+        )
+
+    def register_blockstore(self, device_id: str, host: str, port: int) -> None:
+        """Record (or update) the endpoint serving one device's shares."""
+        self._blockstores[device_id] = (host, port)
+
+    # -- ops --------------------------------------------------------------
+
+    async def _op_where_is(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        address = self._parse_address(require(request, "address"))
+        placement = self.strategy.place(address)
+        self.registry.counter("metastore.lookups").add(1)
+        return {"devices": list(placement)}
+
+    async def _op_where_are(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        raw = require(request, "addresses")
+        if not isinstance(raw, list):
+            raise BadFrameError("'addresses' must be a list of integers")
+        if len(raw) > MAX_BATCH_ADDRESSES:
+            raise BadFrameError(
+                f"where_are batch of {len(raw)} addresses exceeds the "
+                f"{MAX_BATCH_ADDRESSES}-address maximum"
+            )
+        addresses = [self._parse_address(value) for value in raw]
+        batch = self.strategy.place_many(addresses)
+        self.registry.counter("metastore.lookups").add(len(addresses))
+        self.registry.histogram("metastore.batch_size").observe(len(addresses))
+        return {
+            "placements": [list(placement) for placement in batch.tuples()]
+        }
+
+    async def _op_config(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy_name,
+            "copies": self.copies,
+            "bins": [
+                [spec.bin_id, spec.capacity] for spec in self._bins
+            ],
+            "blockstores": {
+                device: [host, port]
+                for device, (host, port) in sorted(self._blockstores.items())
+            },
+        }
+
+    @staticmethod
+    def _parse_address(value: Any) -> int:
+        """Validate one wire address (a non-negative JSON integer)."""
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BadFrameError(
+                f"addresses must be integers, got {type(value).__name__}"
+            )
+        if value < 0:
+            raise BadFrameError(f"addresses must be >= 0, got {value}")
+        return value

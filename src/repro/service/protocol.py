@@ -1,0 +1,204 @@
+"""Length-prefixed JSON wire protocol for the placement service.
+
+One frame on the wire is::
+
+    +----------------+----------------------------------------+
+    | 4-byte big-    | UTF-8 JSON body, exactly ``length``    |
+    | endian length  | bytes                                  |
+    +----------------+----------------------------------------+
+
+The body is any JSON value (servers additionally require a dict
+envelope, but the codec itself is payload-agnostic).  JSON is rendered
+compactly with sorted keys, so equal payloads encode to byte-equal
+frames on any machine — the property the protocol tests pin.
+
+Three failure modes get typed errors (all subclasses of
+:class:`~repro.exceptions.BadFrameError`):
+
+* :class:`~repro.exceptions.TruncatedFrameError` — the buffer or stream
+  ended before the declared length was satisfied (peer died mid-frame).
+* :class:`~repro.exceptions.OversizedFrameError` — the header declared a
+  body larger than ``max_frame_bytes``.  The guard fires on the header
+  alone, before any body bytes are buffered.
+* :class:`~repro.exceptions.BadFrameError` — everything else: a zero
+  length prefix, a body that is not valid JSON, or trailing bytes after
+  a complete frame.
+
+The async helpers :func:`read_frame`/:func:`write_frame` adapt the codec
+to :mod:`asyncio` streams; a clean EOF *between* frames reads as
+``None`` rather than an error, which is how connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional, Tuple
+
+from ..exceptions import (
+    BadFrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+)
+
+#: Frame header: one unsigned 32-bit big-endian body length.
+HEADER = struct.Struct("!I")
+
+#: Default ceiling on one frame's body.  Generous for placement batches
+#: (a 100k-address ``where_are`` answer is ~2 MB) while keeping a corrupt
+#: or hostile length prefix from forcing a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(payload: Any, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialise one payload to its wire frame.
+
+    Args:
+        payload: Any JSON-serialisable value.
+        max_frame_bytes: Refuse to build frames whose body exceeds this.
+
+    Raises:
+        BadFrameError: when the payload is not JSON-serialisable.
+        OversizedFrameError: when the encoded body exceeds the maximum.
+    """
+    try:
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise BadFrameError(f"payload is not JSON-serialisable: {error}") from None
+    if len(body) > max_frame_bytes:
+        raise OversizedFrameError(
+            f"frame body is {len(body)} bytes, above the "
+            f"{max_frame_bytes}-byte maximum"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_header(
+    header: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> int:
+    """Validate a frame header and return the declared body length.
+
+    Raises:
+        TruncatedFrameError: fewer than 4 header bytes.
+        BadFrameError: a zero-length body (no JSON value is empty).
+        OversizedFrameError: the declared length exceeds the maximum.
+    """
+    if len(header) < HEADER.size:
+        raise TruncatedFrameError(
+            f"frame header needs {HEADER.size} bytes, got {len(header)}"
+        )
+    (length,) = HEADER.unpack(header[: HEADER.size])
+    if length == 0:
+        raise BadFrameError("frame declares a zero-length body")
+    if length > max_frame_bytes:
+        raise OversizedFrameError(
+            f"frame declares a {length}-byte body, above the "
+            f"{max_frame_bytes}-byte maximum"
+        )
+    return length
+
+
+def decode_body(body: bytes) -> Any:
+    """Parse one frame body.
+
+    Raises:
+        BadFrameError: when the body is not valid UTF-8 JSON.
+    """
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadFrameError(f"frame body is not valid JSON: {error}") from None
+
+
+def decode_frame(
+    data: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Any:
+    """Decode a buffer holding exactly one frame.
+
+    The strict inverse of :func:`encode_frame`: the buffer must contain
+    one complete frame and nothing else.
+
+    Raises:
+        TruncatedFrameError: the buffer ends before the declared length.
+        OversizedFrameError: the header declares an over-limit body.
+        BadFrameError: zero-length body, invalid JSON, or trailing bytes.
+    """
+    payload, consumed = decode_frame_prefix(data, max_frame_bytes=max_frame_bytes)
+    if consumed != len(data):
+        raise BadFrameError(
+            f"{len(data) - consumed} trailing bytes after a complete frame"
+        )
+    return payload
+
+
+def decode_frame_prefix(
+    data: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Tuple[Any, int]:
+    """Decode the first frame of a buffer, returning ``(payload, consumed)``.
+
+    The streaming-friendly variant of :func:`decode_frame`: trailing
+    bytes (the start of the next frame) are fine and reported through
+    ``consumed``.
+
+    Raises:
+        TruncatedFrameError: the buffer ends before one complete frame.
+        OversizedFrameError: the header declares an over-limit body.
+        BadFrameError: zero-length body or invalid JSON.
+    """
+    length = decode_header(data, max_frame_bytes=max_frame_bytes)
+    end = HEADER.size + length
+    if len(data) < end:
+        raise TruncatedFrameError(
+            f"frame declares a {length}-byte body but only "
+            f"{len(data) - HEADER.size} bytes follow the header"
+        )
+    return decode_body(data[HEADER.size : end]), end
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Any]:
+    """Read one frame from a stream.
+
+    Returns:
+        The decoded payload, or ``None`` on a clean EOF between frames
+        (the peer closed the connection after the last complete frame).
+
+    Raises:
+        TruncatedFrameError: EOF arrived mid-frame.
+        OversizedFrameError: the header declared an over-limit body.
+        BadFrameError: zero-length body or invalid JSON.
+    """
+    header = await reader.read(HEADER.size)
+    if not header:
+        return None
+    while len(header) < HEADER.size:
+        more = await reader.read(HEADER.size - len(header))
+        if not more:
+            raise TruncatedFrameError(
+                f"connection closed after {len(header)} header bytes"
+            )
+        header += more
+    length = decode_header(header, max_frame_bytes=max_frame_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise TruncatedFrameError(
+            f"connection closed {len(error.partial)} bytes into a "
+            f"{length}-byte body"
+        ) from None
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: Any,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Encode ``payload`` and flush it onto a stream."""
+    writer.write(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+    await writer.drain()

@@ -1,0 +1,42 @@
+"""Test harness: run asyncio servers on a background event-loop thread.
+
+Hypothesis property tests and synchronous CLI tests both need a *live*
+server that outlasts one ``asyncio.run`` call (starting a fresh service
+per drawn example would swamp the property being tested with setup
+cost).  :class:`LoopThread` owns an event loop on a daemon thread and
+exposes a synchronous ``run(coro)`` bridge; servers started through it
+keep serving until the harness stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Coroutine
+
+
+class LoopThread:
+    """An event loop running on a dedicated daemon thread."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._ready.set)
+        self.loop.run_forever()
+
+    def run(self, coro: Coroutine, timeout: float = 30.0) -> Any:
+        """Run a coroutine on the loop thread, blocking for its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread."""
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()

@@ -1,0 +1,402 @@
+"""Blockstore semantics, client degradation, and typed errors on the wire.
+
+Everything here runs a real server on localhost inside ``asyncio.run``:
+typed errors must survive the trip through the error envelope (raised
+server-side, re-raised client-side as the same class), and the client's
+fallback order must mirror ``chaos/recovery.degraded_read`` — positions
+tried in placement order, unavailable/missing/corrupt copies skipped.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import (
+    BadFrameError,
+    BlockNotFoundError,
+    ChecksumMismatchError,
+    ServiceUnavailableError,
+)
+from repro.service import (
+    BlockstoreServer,
+    RpcConnection,
+    ServiceClient,
+    ServiceCluster,
+    checksum,
+    encode_frame,
+    encode_payload,
+)
+from repro.service.protocol import HEADER, read_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _one_blockstore():
+    server = BlockstoreServer("dev-0")
+    await server.start()
+    connection = await RpcConnection.open(server.host, server.port)
+    return server, connection
+
+
+class TestBlockstore:
+    def test_put_get_round_trip(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            payload = b"the quick brown fox"
+            stored = await connection.call(
+                "put", address=9, position=1,
+                payload=encode_payload(payload),
+            )
+            fetched = await connection.call("get", address=9, position=1)
+            await connection.close()
+            await server.stop()
+            return payload, stored, fetched
+
+        payload, stored, fetched = run(scenario())
+        assert stored == {"stored": True, "checksum": checksum(payload)}
+        assert fetched["checksum"] == checksum(payload)
+
+    def test_get_missing_share_is_typed(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                with pytest.raises(BlockNotFoundError):
+                    await connection.call("get", address=1, position=0)
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_put_with_wrong_checksum_rejected(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                with pytest.raises(ChecksumMismatchError):
+                    await connection.call(
+                        "put", address=1, position=0,
+                        payload=encode_payload(b"data"),
+                        checksum="0" * 64,
+                    )
+                assert server.share_count() == 0
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_silent_corruption_caught_on_read(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                await connection.call(
+                    "put", address=3, position=0,
+                    payload=encode_payload(b"precious"),
+                )
+                server.corrupt(3, 0)
+                with pytest.raises(ChecksumMismatchError):
+                    await connection.call("get", address=3, position=0)
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_delete_and_stats(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                await connection.call(
+                    "put", address=5, position=2,
+                    payload=encode_payload(b"x" * 10),
+                )
+                stats = await connection.call("stats")
+                assert stats == {"device": "dev-0", "shares": 1, "bytes": 10}
+                deleted = await connection.call("delete", address=5, position=2)
+                assert deleted == {"deleted": True}
+                again = await connection.call("delete", address=5, position=2)
+                assert again == {"deleted": False}
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+
+class TestWireErrors:
+    def test_unknown_op_is_bad_frame(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                with pytest.raises(BadFrameError):
+                    await connection.call("frobnicate")
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_missing_parameter_is_bad_frame(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            try:
+                with pytest.raises(BadFrameError):
+                    await connection.call("get", address=1)  # no position
+            finally:
+                await connection.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_garbage_bytes_get_error_envelope_then_close(self):
+        async def scenario():
+            server = BlockstoreServer("dev-0")
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(HEADER.pack(7) + b"garbage")
+            await writer.drain()
+            response = await read_frame(reader)
+            follow_up = await read_frame(reader)  # server hung up
+            writer.close()
+            await server.stop()
+            return response, follow_up
+
+        response, follow_up = run(scenario())
+        assert response["ok"] is False
+        assert response["error"] == "BadFrameError"
+        assert follow_up is None
+
+    def test_non_object_request_is_answered_not_fatal(self):
+        async def scenario():
+            server = BlockstoreServer("dev-0")
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(encode_frame([1, 2, 3]))
+            await writer.drain()
+            response = await read_frame(reader)
+            writer.close()
+            await server.stop()
+            return response
+
+        response = run(scenario())
+        assert response["ok"] is False
+        assert response["error"] == "BadFrameError"
+
+    def test_connection_refused_is_service_unavailable(self):
+        async def scenario():
+            # Bind-then-close gives a port that is guaranteed free.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(ServiceUnavailableError):
+                await RpcConnection.open("127.0.0.1", port)
+
+        run(scenario())
+
+    def test_server_death_mid_session_is_service_unavailable(self):
+        async def scenario():
+            server, connection = await _one_blockstore()
+            await connection.call("ping")
+            await server.stop()
+            with pytest.raises(ServiceUnavailableError):
+                await connection.call("ping")
+            await connection.close()
+
+        run(scenario())
+
+
+class TestServiceClient:
+    def test_write_read_round_trip_all_positions(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200, 100], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                receipt = await client.put_block(11, b"payload-11")
+                result = await client.get_block(11)
+                # every acknowledged copy is really on its blockstore
+                held = [
+                    cluster.blockstores[device].holds(11, position)
+                    for position, device in enumerate(receipt.devices)
+                ]
+                await client.close()
+                return receipt, result, held
+
+        receipt, result, held = run(scenario())
+        assert receipt.fully_replicated
+        assert receipt.positions_written == [0, 1, 2]
+        assert result.payload == b"payload-11"
+        assert result.position_used == 0
+        assert not result.degraded
+        assert held == [True, True, True]
+
+    def test_degraded_read_falls_back_in_position_order(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200, 100], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                receipt = await client.put_block(23, b"payload-23")
+                await cluster.kill_blockstore(receipt.devices[0])
+                result = await client.get_block(23)
+                await client.close()
+                return result
+
+        result = run(scenario())
+        assert result.payload == b"payload-23"
+        assert result.position_used == 1
+        assert result.positions_skipped == [0]
+
+    def test_corrupt_primary_copy_falls_back(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200, 100], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                receipt = await client.put_block(31, b"payload-31")
+                cluster.blockstores[receipt.devices[0]].corrupt(31, 0)
+                result = await client.get_block(31)
+                await client.close()
+                return result
+
+        result = run(scenario())
+        assert result.payload == b"payload-31"
+        assert result.positions_skipped == [0]
+
+    def test_all_copies_gone_is_service_unavailable(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                await client.put_block(47, b"payload-47")
+                for device in list(cluster.blockstores):
+                    await cluster.kill_blockstore(device)
+                try:
+                    with pytest.raises(ServiceUnavailableError):
+                        await client.get_block(47)
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_degraded_write_skips_dead_store(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200, 100], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                placement = await client.where_is(59)
+                await cluster.kill_blockstore(placement[1])
+                receipt = await client.put_block(59, b"payload-59")
+                result = await client.get_block(59)
+                await client.close()
+                return receipt, result
+
+        receipt, result = run(scenario())
+        assert not receipt.fully_replicated
+        assert receipt.positions_skipped == [1]
+        assert sorted(receipt.positions_written) == [0, 2]
+        assert result.payload == b"payload-59"
+
+    def test_read_of_never_written_block(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200], copies=2
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                try:
+                    with pytest.raises(ServiceUnavailableError):
+                        await client.get_block(999)
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_restart_after_outage_preserves_shares(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200, 100], copies=3
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                receipt = await client.put_block(71, b"payload-71")
+                victim = receipt.devices[0]
+                # outage: socket closes but the data survives
+                await cluster.kill_blockstore(victim, wipe=False)
+                degraded = await client.get_block(71)
+                await cluster.restart_blockstore(victim)
+                await client.refresh_config()
+                healthy = await client.get_block(71)
+                await client.close()
+                return degraded, healthy
+
+        degraded, healthy = run(scenario())
+        assert degraded.position_used == 1
+        assert healthy.position_used == 0
+        assert healthy.payload == b"payload-71"
+
+    def test_metrics_rpc_exports_service_and_process_views(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200], copies=2
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                await client.put_block(5, b"five")
+                await client.where_are([1, 2, 3, 4])
+                snapshot = await client.metrics()
+                await client.close()
+                return snapshot
+
+        snapshot = run(scenario())
+        service = snapshot["service"]
+        assert service["counters"]["metastore.requests.where_are"] == 1
+        assert service["counters"]["metastore.lookups"] >= 5
+        latency = service["histograms"]["metastore.request_ms"]
+        assert latency["count"] == sum(
+            count
+            for name, count in service["counters"].items()
+            if name.startswith("metastore.requests.")
+        )
+        assert "counters" in snapshot["process"]
+
+    def test_metastore_validates_addresses(self):
+        async def scenario():
+            async with ServiceCluster.from_capacities(
+                [400, 300, 200], copies=2
+            ) as cluster:
+                host, port = cluster.metastore_address
+                client = await ServiceClient.connect(host, port)
+                try:
+                    with pytest.raises(BadFrameError):
+                        await client.where_is(-1)
+                    with pytest.raises(BadFrameError):
+                        await client.where_are(["seven"])
+                finally:
+                    await client.close()
+
+        run(scenario())
+
+    def test_cluster_rejects_port_overflow(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ServiceCluster.from_capacities([1, 1, 1], port=65534)
+        with pytest.raises(ConfigurationError):
+            ServiceCluster.from_capacities([])

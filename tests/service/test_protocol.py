@@ -1,0 +1,226 @@
+"""Property tests pinning the length-prefixed JSON wire codec.
+
+The contract under test:
+
+* ``decode_frame(encode_frame(x)) == x`` for every JSON-representable
+  payload (round-trip identity), and equal payloads encode to byte-equal
+  frames (canonical rendering).
+* Every *proper prefix* of a valid frame raises
+  :class:`TruncatedFrameError` — a reader can always distinguish "need
+  more bytes" from "the stream is garbage".
+* A header declaring a body above ``max_frame_bytes`` raises
+  :class:`OversizedFrameError` from the header alone.
+* Structural garbage (zero-length body, invalid JSON, trailing bytes)
+  raises :class:`BadFrameError`.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    BadFrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+)
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    decode_frame_prefix,
+    decode_header,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+# Arbitrary JSON values: scalars (including > 2**32 integers, which the
+# placement service relies on for addresses) nested under lists/dicts.
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2 ** 70), max_value=2 ** 70)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=40)
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=10), children, max_size=4)
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTrip:
+    @given(payload=json_values)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_identity(self, payload):
+        assert decode_frame(encode_frame(payload)) == payload
+
+    @given(payload=json_values)
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_encoding(self, payload):
+        # Equal payloads give byte-equal frames (sorted keys, fixed
+        # separators) — what lets traces be compared across machines.
+        assert encode_frame(payload) == encode_frame(payload)
+
+    @given(payload=json_values)
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_decoder_reports_consumed(self, payload):
+        frame = encode_frame(payload)
+        decoded, consumed = decode_frame_prefix(frame + b"extra")
+        assert decoded == payload
+        assert consumed == len(frame)
+
+    def test_non_serialisable_payload(self):
+        with pytest.raises(BadFrameError):
+            encode_frame(object())
+
+
+class TestTruncation:
+    @given(payload=json_values, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_every_proper_prefix_is_truncated(self, payload, data):
+        frame = encode_frame(payload)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(frame[:cut])
+
+    def test_empty_buffer(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(b"")
+
+    def test_truncated_error_is_a_bad_frame(self):
+        # Catching the broad class catches the structural subclasses too.
+        assert issubclass(TruncatedFrameError, BadFrameError)
+        assert issubclass(OversizedFrameError, BadFrameError)
+
+
+class TestOversizeGuard:
+    def test_encode_refuses_oversized_body(self):
+        with pytest.raises(OversizedFrameError):
+            encode_frame("x" * 128, max_frame_bytes=64)
+
+    def test_header_guard_fires_without_body(self):
+        # Only the 4 header bytes exist; the guard must fire before any
+        # attempt to read the (absent, huge) body.
+        header = HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(OversizedFrameError):
+            decode_frame(header)
+
+    @given(length=st.integers(min_value=1, max_value=2 ** 32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_header_guard_threshold(self, length):
+        header = HEADER.pack(length)
+        if length > 1024:
+            with pytest.raises(OversizedFrameError):
+                decode_header(header, max_frame_bytes=1024)
+        else:
+            assert decode_header(header, max_frame_bytes=1024) == length
+
+
+class TestStructuralGarbage:
+    def test_zero_length_body(self):
+        with pytest.raises(BadFrameError):
+            decode_frame(HEADER.pack(0))
+
+    def test_invalid_json_body(self):
+        with pytest.raises(BadFrameError):
+            decode_frame(HEADER.pack(3) + b"not")
+
+    def test_invalid_utf8_body(self):
+        with pytest.raises(BadFrameError):
+            decode_frame(HEADER.pack(2) + b"\xff\xfe")
+
+    @given(payload=json_values, junk=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_trailing_bytes_rejected(self, payload, junk):
+        with pytest.raises(BadFrameError):
+            decode_frame(encode_frame(payload) + junk)
+
+
+class TestStreamHelpers:
+    """The asyncio adapters, driven through an in-memory StreamReader."""
+
+    @staticmethod
+    def _reader(*chunks: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_clean_eof_reads_as_none(self):
+        async def scenario():
+            return await read_frame(self._reader())
+
+        assert asyncio.run(scenario()) is None
+
+    def test_two_frames_back_to_back(self):
+        async def scenario():
+            reader = self._reader(
+                encode_frame({"op": "ping", "id": 1})
+                + encode_frame({"op": "ping", "id": 2})
+            )
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first == {"op": "ping", "id": 1}
+        assert second == {"op": "ping", "id": 2}
+        assert third is None
+
+    def test_eof_mid_header_is_truncated(self):
+        async def scenario():
+            await read_frame(self._reader(b"\x00\x00"))
+
+        with pytest.raises(TruncatedFrameError):
+            asyncio.run(scenario())
+
+    def test_eof_mid_body_is_truncated(self):
+        async def scenario():
+            frame = encode_frame({"key": "value"})
+            await read_frame(self._reader(frame[:-2]))
+
+        with pytest.raises(TruncatedFrameError):
+            asyncio.run(scenario())
+
+    def test_oversized_header_rejected_before_body(self):
+        async def scenario():
+            await read_frame(
+                self._reader(HEADER.pack(2 ** 31), eof=False),
+                max_frame_bytes=1024,
+            )
+
+        with pytest.raises(OversizedFrameError):
+            asyncio.run(scenario())
+
+    def test_write_frame_round_trips_over_a_socket(self):
+        async def scenario():
+            received = []
+
+            async def handle(reader, writer):
+                received.append(await read_frame(reader))
+                await write_frame(writer, {"echo": received[-1]})
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_frame(writer, {"n": 2 ** 62})
+            reply = await read_frame(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return received, reply
+
+        received, reply = asyncio.run(scenario())
+        assert received == [{"n": 2 ** 62}]
+        assert reply == {"echo": {"n": 2 ** 62}}

@@ -186,3 +186,150 @@ class TestChaosCli:
         assert "chaos.fault" in kinds
         assert "chaos.sample" in kinds
         assert "chaos.finished" in kinds
+
+
+class TestServeCli:
+    """Argument validation and typed-error coverage for ``repro serve``."""
+
+    def test_serve_bad_capacities(self):
+        with pytest.raises(SystemExit, match="invalid capacity list"):
+            main(["serve", "--capacities", "abc"])
+
+    def test_serve_unknown_strategy(self):
+        with pytest.raises(SystemExit, match="unknown strategy"):
+            main(["serve", "--capacities", "10,10,10", "--strategy", "bogus"])
+
+    def test_serve_infeasible_copies(self):
+        # copies > devices: the registry factory's ConfigurationError
+        # must surface as a CLI error before anything binds a socket.
+        with pytest.raises(SystemExit, match="cannot serve"):
+            main(["serve", "--capacities", "10,10,10", "--copies", "5"])
+
+    def test_serve_zero_copies(self):
+        with pytest.raises(SystemExit, match="--copies"):
+            main(["serve", "--capacities", "10,10,10", "--copies", "0"])
+
+    def test_serve_port_overflow(self):
+        # the N blockstores bind port+1..port+N; no room above 65534
+        with pytest.raises(SystemExit, match="--port"):
+            main(["serve", "--capacities", "10,10,10", "--port", "65534"])
+
+    def test_serve_negative_port(self):
+        with pytest.raises(SystemExit, match="--port"):
+            main(["serve", "--capacities", "10,10,10", "--port", "-1"])
+
+
+class TestClientCli:
+    """``repro client`` against a live in-process service."""
+
+    @pytest.fixture()
+    def service(self):
+        from repro.service import ServiceCluster
+
+        from .service.harness import LoopThread
+
+        loop = LoopThread()
+        cluster = ServiceCluster.from_capacities(
+            [300, 200, 100], copies=3, prefix="store"
+        )
+        loop.run(cluster.start())
+        host, port = cluster.metastore_address
+        yield f"{host}:{port}", cluster, loop
+        loop.run(cluster.stop())
+        loop.stop()
+
+    def test_client_bad_endpoint(self):
+        with pytest.raises(SystemExit, match="host:port"):
+            main(["client", "ping", "--connect", "nope"])
+
+    def test_client_bad_port_text(self):
+        with pytest.raises(SystemExit, match="invalid port"):
+            main(["client", "ping", "--connect", "localhost:http"])
+
+    def test_client_port_out_of_range(self):
+        with pytest.raises(SystemExit, match="port must be"):
+            main(["client", "ping", "--connect", "localhost:70000"])
+
+    def test_client_put_requires_address(self):
+        with pytest.raises(SystemExit, match="--address"):
+            main(["client", "put", "--connect", "localhost:1", "--payload", "x"])
+
+    def test_client_put_requires_payload(self):
+        with pytest.raises(SystemExit, match="--payload"):
+            main(["client", "put", "--connect", "localhost:1", "--address", "1"])
+
+    def test_client_connection_refused_exits_nonzero(self, capsys):
+        import socket
+
+        # bind-then-close yields a port with no listener
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["client", "ping", "--connect", f"127.0.0.1:{port}"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_ping(self, service, capsys):
+        endpoint, _, _ = service
+        assert main(["client", "ping", "--connect", endpoint]) == 0
+        out = capsys.readouterr().out
+        assert "pong" in out
+        assert "k=3" in out
+
+    def test_client_put_get_where_round_trip(self, service, capsys):
+        endpoint, _, _ = service
+        assert main(
+            ["client", "put", "--connect", endpoint, "--address", "42",
+             "--payload", "hello wire"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stored 42 on 3/3 copies" in out
+
+        assert main(
+            ["client", "get", "--connect", endpoint, "--address", "42"]
+        ) == 0
+        assert "hello wire" in capsys.readouterr().out
+
+        assert main(
+            ["client", "where", "--connect", endpoint, "--address", "42"]
+        ) == 0
+        devices = capsys.readouterr().out.split()
+        assert len(devices) == 3
+        assert all(device.startswith("store-") for device in devices)
+
+    def test_client_get_missing_block_exits_nonzero(self, service, capsys):
+        endpoint, _, _ = service
+        assert main(
+            ["client", "get", "--connect", endpoint, "--address", "777"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_client_degraded_read_reports_fallback(self, service, capsys):
+        endpoint, cluster, loop = service
+        assert main(
+            ["client", "put", "--connect", endpoint, "--address", "9",
+             "--payload", "resilient"]
+        ) == 0
+        primary = capsys.readouterr()  # discard the put report
+        devices = loop.run(_where(cluster, 9))
+        loop.run(cluster.kill_blockstore(devices[0]))
+        assert main(
+            ["client", "get", "--connect", endpoint, "--address", "9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resilient" in out
+        assert "degraded read" in out
+
+    def test_client_metrics(self, service, capsys):
+        endpoint, _, _ = service
+        assert main(["client", "ping", "--connect", endpoint]) == 0
+        capsys.readouterr()
+        assert main(["client", "metrics", "--connect", endpoint]) == 0
+        out = capsys.readouterr().out
+        assert '"metastore.requests"' in out
+        assert '"metastore.request_ms"' in out
+
+
+async def _where(cluster, address):
+    """Placement of one address straight from the metastore's strategy."""
+    return list(cluster.metastore.strategy.place(address))
