@@ -165,13 +165,18 @@ def gather_shares(
     ledger: HealthLedger,
     *,
     need: Optional[int] = None,
+    scheduler=None,
 ) -> Tuple[Dict[int, bytes], List[int]]:
     """Collect readable shares of a block, routing around sick devices.
 
-    Walks copy positions ``0..k-1``, resolving each through the current
-    strategy's ``place_copy`` and falling back to the recorded placement
-    when the map disagrees (a lazy rebalance in flight).  Stops early once
-    ``need`` shares are gathered.
+    Walks copy positions — ``0..k-1`` by default, or in the preferred
+    order of a :class:`repro.scheduling.base.ReadScheduler` when one is
+    passed (its availability mask is first synced from the ledger, so a
+    freshly-crashed device stops being chosen on the very next read) —
+    resolving each through the current strategy's ``place_copy`` and
+    falling back to the recorded placement when the map disagrees (a
+    lazy rebalance in flight).  Stops early once ``need`` shares are
+    gathered.
 
     Returns:
         ``(shares, skipped)``: payloads by position, and the positions
@@ -180,7 +185,20 @@ def gather_shares(
     placement = cluster.placement_of(address)
     shares: Dict[int, bytes] = {}
     skipped: List[int] = []
-    for position in range(len(placement)):
+    positions = range(len(placement))
+    if scheduler is not None:
+        for device_id in placement:
+            if ledger.available(device_id):
+                scheduler.mark_online(device_id)
+            else:
+                scheduler.mark_offline(device_id)
+        try:
+            positions = scheduler.order(address, placement)
+        except DeviceUnavailableError:
+            # Nothing schedulable; fall through to the plain walk so the
+            # caller still gets an accurate skipped-positions report.
+            positions = range(len(placement))
+    for position in positions:
         if need is not None and len(shares) >= need:
             break
         candidates = [cluster.strategy.place_copy(address, position)]
@@ -206,9 +224,13 @@ def gather_shares(
 
 
 def degraded_read(
-    cluster: Cluster, address: int, ledger: HealthLedger
+    cluster: Cluster, address: int, ledger: HealthLedger, *, scheduler=None
 ) -> DegradedReadResult:
     """Read a block while devices are down, degrading across positions.
+
+    With a ``scheduler`` (see :mod:`repro.scheduling`), the preferred
+    copy is read first and load is accounted against it — degraded reads
+    then spread over the survivors instead of hammering position 0.
 
     Raises:
         BlockNotFoundError: if the block was never written.
@@ -218,7 +240,9 @@ def degraded_read(
             that are up) — retrying will not help.
     """
     need = cluster.code.data_shares
-    shares, skipped = gather_shares(cluster, address, ledger, need=need)
+    shares, skipped = gather_shares(
+        cluster, address, ledger, need=need, scheduler=scheduler
+    )
     if len(shares) < need and skipped:
         raise DeviceUnavailableError(
             f"block {address}: only {len(shares)}/{need} shares reachable; "

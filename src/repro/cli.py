@@ -366,6 +366,86 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sched(args: argparse.Namespace) -> int:
+    """Read-scheduler ablation: peak device load under skewed traffic.
+
+    Places a synthetic address population with the chosen strategy,
+    replays a skewed read stream (zipf / uniform / flash-crowd) through
+    each requested scheduling policy, and prints the per-policy peak
+    device share alongside the water-filling fractional optimum — the
+    load-balance twin of ``repro fairness``.
+    """
+    from .exceptions import ConfigurationError
+    from .scheduling import (
+        LruCacheModel,
+        create as sched_create,
+        fractional_lower_bound,
+        run_reads,
+        scheduler_names,
+    )
+    from .workloads import ZipfGenerator, flash_crowd_sample, uniform_sample
+
+    capacities = _parse_capacities(args.capacities)
+    bins = bins_from_capacities(capacities, prefix=args.prefix)
+    strategy = _strategy_for(args.strategy, bins, args.copies)
+    if args.requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+    if args.workload == "zipf":
+        addresses = ZipfGenerator(
+            args.universe, alpha=args.alpha, seed=args.seed
+        ).sample(args.requests)
+    elif args.workload == "uniform":
+        addresses = uniform_sample(args.requests, args.universe, seed=args.seed)
+    else:
+        addresses = flash_crowd_sample(
+            args.requests, args.universe, seed=args.seed
+        )
+    if args.policy == "all":
+        policies = list(scheduler_names())
+    else:
+        policies = [name for name in args.policy.split(",") if name]
+    device_ids = [spec.bin_id for spec in bins]
+    print(
+        f"workload={args.workload} requests={args.requests} "
+        f"universe={args.universe} alpha={args.alpha} "
+        f"strategy={args.strategy} k={args.copies}"
+        + (f" cache={args.cache}" if args.cache else "")
+    )
+    print(
+        f"{'policy':<16}{'peak reqs':>12}{'peak share':>12}"
+        f"{'peak load':>12}{'cache hit%':>12}"
+    )
+    for name in policies:
+        cache = (
+            LruCacheModel(args.cache, hit_cost=args.hit_cost)
+            if args.cache
+            else None
+        )
+        try:
+            scheduler = sched_create(
+                name, device_ids, seed=args.seed, cache=cache
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+        outcome = run_reads(strategy, scheduler, addresses)
+        hit_text = (
+            f"{cache.hit_rate():>11.1%}" if cache is not None else f"{'-':>12}"
+        )
+        print(
+            f"{scheduler.name:<16}{outcome.peak_count():>12}"
+            f"{outcome.peak_share():>11.2%} {outcome.peak_load():>11.1f}"
+            f"{hit_text}"
+        )
+    bound = fractional_lower_bound(strategy, addresses)
+    if bound is not None:
+        total = len(addresses)
+        print(
+            f"{'(optimum)':<16}{bound:>12.1f}{bound / total:>11.2%}"
+            f" {'':>11}{'':>12}  # fractional water-filling bound"
+        )
+    return 0
+
+
 def _parse_endpoint(raw: str) -> tuple:
     """Split a ``host:port`` endpoint, with CLI-grade errors."""
     host, _, port_text = raw.rpartition(":")
@@ -483,7 +563,9 @@ def cmd_client(args: argparse.Namespace) -> int:
         raise SystemExit("client put requires --payload")
 
     async def _run() -> int:
-        client = await ServiceClient.connect(host, port)
+        client = await ServiceClient.connect(
+            host, port, read_policy=args.read_policy, read_seed=args.read_seed
+        )
         try:
             if args.action == "ping":
                 await client.ping()
@@ -738,7 +820,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument(
         "--payload", default=None, help="UTF-8 payload for put"
     )
+    p_client.add_argument(
+        "--read-policy", default="primary",
+        help="copy-selection policy for get (see 'repro sched')",
+    )
+    p_client.add_argument("--read-seed", type=int, default=0)
     p_client.set_defaults(func=cmd_client)
+
+    p_sched = sub.add_parser(
+        "sched", help="read-scheduler load balance under skewed traffic"
+    )
+    common(p_sched)
+    p_sched.add_argument("--strategy", default="redundant-share")
+    p_sched.add_argument(
+        "--policy", default="all",
+        help="comma-separated scheduler names (aliases ok), or 'all'",
+    )
+    p_sched.add_argument(
+        "--workload", choices=("zipf", "uniform", "flash-crowd"),
+        default="zipf",
+    )
+    p_sched.add_argument(
+        "--alpha", type=float, default=1.1, help="zipf skew exponent"
+    )
+    p_sched.add_argument("--requests", type=int, default=100_000)
+    p_sched.add_argument(
+        "--universe", type=int, default=2000,
+        help="distinct block addresses in the workload",
+    )
+    p_sched.add_argument("--seed", type=int, default=0)
+    p_sched.add_argument(
+        "--cache", type=int, default=0,
+        help="per-device LRU cache capacity in blocks (0 = no cache model)",
+    )
+    p_sched.add_argument(
+        "--hit-cost", type=float, default=0.25,
+        help="load units a cache hit costs (misses cost 1.0)",
+    )
+    p_sched.set_defaults(func=cmd_sched)
 
     p_adapt = sub.add_parser("adaptivity", help="Figure 3 experiment")
     common(p_adapt, capacities=False)

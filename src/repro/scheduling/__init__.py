@@ -1,0 +1,63 @@
+"""Read scheduling: which of the ``k`` placed copies serves each read.
+
+The placement layer answers *where copies live*; this package answers
+*which copy serves a request*, which is what turns redundancy into
+access-load balance under skewed (Zipf, flash-crowd) traffic.  Policies
+live behind a registry mirroring ``placement.registry``:
+
+    >>> from repro.scheduling import create
+    >>> scheduler = create("power-of-two", ["a", "b", "c"], seed=7)
+    >>> scheduler.choose(42, ("a", "c"))  # doctest: +SKIP
+    0
+
+See :mod:`repro.scheduling.base` for the scheduler contract,
+:mod:`repro.scheduling.policies` for the online policies,
+:mod:`repro.scheduling.water_filling` for the offline optimum baseline,
+and :mod:`repro.scheduling.driver` for the strategy × scheduler ×
+workload batch engine.
+"""
+
+from .base import ReadScheduler, record_schedule_batch
+from .cache import LruCacheModel
+from .driver import ScheduleOutcome, fractional_lower_bound, run_reads
+from .policies import (
+    LeastLoadedScheduler,
+    PowerOfTwoScheduler,
+    PrimaryScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from .registry import (
+    SchedulerEntry,
+    create,
+    lookup,
+    registered_schedulers,
+    scheduler_names,
+)
+from .water_filling import (
+    MAX_EXACT_DEVICES,
+    WaterFillingScheduler,
+    fractional_peak_bound,
+)
+
+__all__ = [
+    "LeastLoadedScheduler",
+    "LruCacheModel",
+    "MAX_EXACT_DEVICES",
+    "PowerOfTwoScheduler",
+    "PrimaryScheduler",
+    "RandomScheduler",
+    "ReadScheduler",
+    "RoundRobinScheduler",
+    "ScheduleOutcome",
+    "SchedulerEntry",
+    "WaterFillingScheduler",
+    "create",
+    "fractional_lower_bound",
+    "fractional_peak_bound",
+    "lookup",
+    "record_schedule_batch",
+    "registered_schedulers",
+    "run_reads",
+    "scheduler_names",
+]

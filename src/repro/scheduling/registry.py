@@ -1,0 +1,137 @@
+"""Name → read-scheduler factory, mirroring ``placement.registry``.
+
+Everything that takes a read policy by name — the CLI, the trace
+player, the service client, the benches — resolves it here, so policy
+names stay consistent across layers and ablations can sweep
+``scheduler_names()`` without hard-coding a list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .base import ReadScheduler
+from .cache import LruCacheModel
+from .policies import (
+    LeastLoadedScheduler,
+    PowerOfTwoScheduler,
+    PrimaryScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from .water_filling import WaterFillingScheduler
+
+
+@dataclass(frozen=True)
+class SchedulerEntry:
+    """One registered scheduling policy."""
+
+    name: str
+    factory: Callable[..., ReadScheduler]
+    summary: str
+    online: bool = True
+    aliases: Tuple[str, ...] = field(default_factory=tuple)
+
+    def build(
+        self,
+        device_ids: Sequence[str],
+        *,
+        seed: int = 0,
+        cache: Optional[LruCacheModel] = None,
+    ) -> ReadScheduler:
+        """Instantiate the policy over ``device_ids``."""
+        return self.factory(device_ids, seed=seed, cache=cache)
+
+
+_ENTRIES: Tuple[SchedulerEntry, ...] = (
+    SchedulerEntry(
+        name="primary",
+        factory=PrimaryScheduler,
+        summary="always the first available copy (ablation baseline)",
+        aliases=("first",),
+    ),
+    SchedulerEntry(
+        name="random",
+        factory=RandomScheduler,
+        summary="seeded uniform draw over the available copies",
+    ),
+    SchedulerEntry(
+        name="round-robin",
+        factory=RoundRobinScheduler,
+        summary="per-address rotation over the available copies",
+        aliases=("rotate", "round_robin"),
+    ),
+    SchedulerEntry(
+        name="least-loaded",
+        factory=LeastLoadedScheduler,
+        summary="the copy on the device with the least accumulated load",
+        aliases=("least_loaded", "ll"),
+    ),
+    SchedulerEntry(
+        name="power-of-two",
+        factory=PowerOfTwoScheduler,
+        summary="two seeded candidates, route to the less loaded",
+        aliases=("po2", "power_of_two", "power-of-two-choices"),
+    ),
+    SchedulerEntry(
+        name="water-filling",
+        factory=WaterFillingScheduler,
+        summary="offline optimum baseline (whole stream, batch only)",
+        online=False,
+        aliases=("wf", "water_filling"),
+    ),
+)
+
+_BY_NAME: Dict[str, SchedulerEntry] = {}
+for _entry in _ENTRIES:
+    _BY_NAME[_entry.name] = _entry
+    for _alias in _entry.aliases:
+        _BY_NAME[_alias] = _entry
+
+
+def lookup(name: str) -> SchedulerEntry:
+    """The registry entry for ``name`` (canonical or alias).
+
+    Raises:
+        ConfigurationError: for an unregistered name, listing the
+            canonical policy names.
+    """
+    entry = _BY_NAME.get(name)
+    if entry is None:
+        known = ", ".join(sorted(entry.name for entry in _ENTRIES))
+        raise ConfigurationError(
+            f"unknown read-scheduling policy {name!r}; registered: {known}"
+        )
+    return entry
+
+
+def create(
+    name: str,
+    device_ids: Sequence[str],
+    *,
+    seed: int = 0,
+    cache: Optional[LruCacheModel] = None,
+) -> ReadScheduler:
+    """Build the policy registered under ``name`` over ``device_ids``."""
+    return lookup(name).build(device_ids, seed=seed, cache=cache)
+
+
+def scheduler_names(
+    *, include_aliases: bool = False, online_only: bool = False
+) -> Tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    names = []
+    for entry in _ENTRIES:
+        if online_only and not entry.online:
+            continue
+        names.append(entry.name)
+        if include_aliases:
+            names.extend(entry.aliases)
+    return tuple(names)
+
+
+def registered_schedulers() -> Tuple[SchedulerEntry, ...]:
+    """All registry entries, in registration order."""
+    return _ENTRIES

@@ -1,0 +1,191 @@
+"""Offline water-filling baseline: the hindsight-optimal schedule.
+
+Every online policy answers "which copy?" with partial information.  The
+water-filling baseline answers it with *all* the information: given the
+whole request stream up front, it pours each block's demand onto its
+least-loaded available copies, highest-demand blocks first, which is the
+classic water-filling construction for minimising the peak device load
+subject to the placement's copy sets.
+
+Two artefacts come out of a run:
+
+* an actual schedule (so the baseline plugs into the same bench tables
+  and invariant suites as the online policies), and
+* :attr:`WaterFillingScheduler.last_lower_bound` — the *fractional*
+  optimum, computed exactly: for every subset ``S`` of available
+  devices, the demand of blocks whose available copies all lie inside
+  ``S`` must be served by ``S``, so ``demand(S) / |S|`` lower-bounds the
+  peak of any schedule, fractional or not.  The max over subsets is
+  tight for the fractional relaxation (max-flow/min-cut on the
+  block→device bipartite graph).  The subset enumeration is a
+  subset-sum DP over ``2^n`` masks, guarded to pools of at most
+  :data:`MAX_EXACT_DEVICES` devices — beyond that the bound is ``None``
+  and callers fall back to comparing against the realized schedule.
+
+The statistical suites compare online peaks against the fractional
+bound because the inequality ``online peak >= fractional optimum`` is a
+theorem, not a tendency — the assertion can never flake.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError, DeviceUnavailableError
+from .base import ReadScheduler
+
+#: Pool size ceiling for the exact ``2^n`` fractional-bound DP.
+MAX_EXACT_DEVICES = 16
+
+
+def fractional_peak_bound(
+    demands: Sequence[int],
+    copyset_masks: Sequence[int],
+    device_count: int,
+) -> Optional[float]:
+    """Exact fractional lower bound on the peak load of any schedule.
+
+    Args:
+        demands: Requests per distinct block.
+        copyset_masks: Bitmask (over ``device_count`` bits) of the
+            devices allowed to serve each block, aligned with
+            ``demands``.
+        device_count: Devices in the pool (bit width of the masks).
+
+    Returns:
+        ``max over masks S of demand(blocks with copyset ⊆ S) / |S|``,
+        or ``None`` when ``device_count`` exceeds
+        :data:`MAX_EXACT_DEVICES`.
+    """
+    if device_count > MAX_EXACT_DEVICES:
+        return None
+    if device_count == 0 or not demands:
+        return 0.0
+    size = 1 << device_count
+    contained = [0] * size
+    for demand, mask in zip(demands, copyset_masks):
+        contained[mask] += demand
+    # Subset-sum (SOS) DP: after processing bit b, contained[S] holds the
+    # demand of all copysets that are subsets of S w.r.t. bits <= b.
+    for bit in range(device_count):
+        step = 1 << bit
+        for mask in range(size):
+            if mask & step:
+                contained[mask] += contained[mask ^ step]
+    best = 0.0
+    for mask in range(1, size):
+        total = contained[mask]
+        if total:
+            bound = total / mask.bit_count()
+            if bound > best:
+                best = bound
+    return best
+
+
+class WaterFillingScheduler(ReadScheduler):
+    """Offline optimum baseline — needs the whole stream, so it only
+    implements :meth:`choose_many`; per-request :meth:`choose` refuses.
+    """
+
+    name = "water-filling"
+    online = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._last_bound: Optional[float] = None
+
+    @property
+    def last_lower_bound(self) -> Optional[float]:
+        """Fractional optimum of the most recent :meth:`choose_many`
+        batch (in isolation — prior load state is not folded in), or
+        ``None`` when the pool was too large for the exact DP."""
+        return self._last_bound
+
+    def choose(self, address: int, placement: Sequence[str]) -> int:
+        raise ConfigurationError(
+            "water-filling is an offline baseline: it needs the whole "
+            "request stream, use choose_many() (or pick an online policy)"
+        )
+
+    def _pick(self, address, ranks, available):  # pragma: no cover
+        raise ConfigurationError("water-filling has no per-request pick")
+
+    def _choose_many(self, addresses, placements) -> List[int]:
+        rows = self._rows(placements)
+        demands: Dict[int, int] = {}
+        copy_ranks: Dict[int, Tuple[int, ...]] = {}
+        for address, row in zip(addresses, rows):
+            block = int(address)
+            if block not in demands:
+                demands[block] = 0
+                copy_ranks[block] = tuple(
+                    self.rank_of(device_id) for device_id in row
+                )
+            demands[block] += 1
+        available_positions: Dict[int, List[int]] = {}
+        for block, ranks in copy_ranks.items():
+            positions = [
+                position
+                for position, rank in enumerate(ranks)
+                if self._available[rank]
+            ]
+            if not positions:
+                raise DeviceUnavailableError(
+                    f"block {block}: all {len(ranks)} copy devices are "
+                    f"offline"
+                )
+            available_positions[block] = positions
+        self._last_bound = self._fractional_bound(
+            demands, copy_ranks, available_positions
+        )
+        # Water-filling realization: highest-demand blocks first (ties on
+        # the lower address), each request poured onto the least-loaded
+        # available copy at that moment.
+        working = list(self._loads)
+        queues: Dict[int, "deque[int]"] = {}
+        for block in sorted(demands, key=lambda b: (-demands[b], b)):
+            ranks = copy_ranks[block]
+            positions = available_positions[block]
+            queue = queues[block] = deque()
+            for _ in range(demands[block]):
+                best_position = positions[0]
+                best_load = working[ranks[best_position]]
+                for position in positions[1:]:
+                    load = working[ranks[position]]
+                    if load < best_load:
+                        best_load = load
+                        best_position = position
+                queue.append(best_position)
+                working[ranks[best_position]] += 1.0
+        positions_out: List[int] = []
+        for address in addresses:
+            block = int(address)
+            position = queues[block].popleft()
+            self._commit(block, copy_ranks[block][position])
+            positions_out.append(position)
+        return positions_out
+
+    def _fractional_bound(
+        self,
+        demands: Dict[int, int],
+        copy_ranks: Dict[int, Tuple[int, ...]],
+        available_positions: Dict[int, List[int]],
+    ) -> Optional[float]:
+        live_ranks = [
+            rank for rank in range(len(self._ids)) if self._available[rank]
+        ]
+        if len(live_ranks) > MAX_EXACT_DEVICES:
+            return None
+        bit_of = {rank: bit for bit, rank in enumerate(live_ranks)}
+        blocks = sorted(demands)
+        masks = []
+        for block in blocks:
+            ranks = copy_ranks[block]
+            mask = 0
+            for position in available_positions[block]:
+                mask |= 1 << bit_of[ranks[position]]
+            masks.append(mask)
+        return fractional_peak_bound(
+            [demands[block] for block in blocks], masks, len(live_ranks)
+        )

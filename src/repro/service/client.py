@@ -11,9 +11,14 @@ as the in-process recovery layer
   blockstores are *skipped, not fatal*: the write succeeds while at
   least one copy lands, and the receipt reports which positions were
   degraded so callers (and the chaos suite) can count exposure.
-* **Read** — try copy positions in placement order ``0..k-1``, falling
-  back to the next position when a blockstore is unreachable, the share
-  is missing (lost in a crash), or its checksum fails.  Only when every
+* **Read** — ask a pluggable :mod:`repro.scheduling` policy which copy
+  position to try first (``read_policy="primary"`` reproduces the plain
+  ``0..k-1`` walk; ``"power-of-two"`` or ``"least-loaded"`` spread hot
+  blocks over their replicas), falling back across the remaining
+  positions when a blockstore is unreachable, the share is missing
+  (lost in a crash), or its checksum fails.  Connection-level failures
+  mark the device offline in the scheduler so subsequent reads route
+  around it; a successful call marks it back online.  Only when every
   position is exhausted does the read raise
   :class:`~repro.exceptions.ServiceUnavailableError`.
 
@@ -31,9 +36,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exceptions import (
     BlockNotFoundError,
     ChecksumMismatchError,
+    ConfigurationError,
+    DeviceUnavailableError,
     ServiceError,
     ServiceUnavailableError,
 )
+from ..scheduling import registry as sched_registry
 from .blockstore import checksum, decode_payload, encode_payload
 from .rpc import RpcConnection
 
@@ -84,24 +92,66 @@ class ServiceReadResult:
 class ServiceClient:
     """A storage frontend speaking to one metastore and its blockstores."""
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        read_policy: str = "primary",
+        read_seed: int = 0,
+    ) -> None:
+        entry = sched_registry.lookup(read_policy)
+        if not entry.online:
+            raise ConfigurationError(
+                f"read_policy {entry.name!r} is an offline baseline; the "
+                f"client schedules per-request"
+            )
         self._metastore_endpoint = (host, port)
         self._metastore: Optional[RpcConnection] = None
         self._blockstores: Dict[str, Tuple[str, int]] = {}
         self._connections: Dict[str, RpcConnection] = {}
+        self._scheduler_entry = entry
+        self._read_seed = read_seed
+        self._scheduler = None
         self.copies = 0
         self.strategy_name = ""
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        read_policy: str = "primary",
+        read_seed: int = 0,
+    ) -> "ServiceClient":
         """Connect to the metastore and bootstrap from its config."""
-        client = cls(host, port)
+        client = cls(host, port, read_policy=read_policy, read_seed=read_seed)
         client._metastore = await RpcConnection.open(host, port)
         await client.refresh_config()
         return client
 
+    @property
+    def read_policy(self) -> str:
+        """Canonical name of the copy-selection policy."""
+        return self._scheduler_entry.name
+
+    @property
+    def scheduler(self):
+        """The live read scheduler (built lazily over known devices)."""
+        if self._scheduler is None:
+            self._scheduler = self._scheduler_entry.build(
+                sorted(self._blockstores), seed=self._read_seed
+            )
+        return self._scheduler
+
     async def refresh_config(self) -> None:
-        """Re-fetch the service topology from the metastore."""
+        """Re-fetch the service topology from the metastore.
+
+        Devices named in the refreshed topology are marked online in the
+        read scheduler — the probe-on-failure path re-discovers any that
+        are still down.
+        """
         config = await self._call_metastore("config")
         self.copies = int(config.get("copies", 0))
         self.strategy_name = str(config.get("strategy", ""))
@@ -110,6 +160,9 @@ class ServiceClient:
             device: (endpoint[0], int(endpoint[1]))
             for device, endpoint in endpoints.items()
         }
+        if self._scheduler is not None:
+            for device_id in self._blockstores:
+                self._scheduler.mark_online(device_id)
 
     async def _call_metastore(self, op: str, **params):
         if self._metastore is None:
@@ -157,6 +210,7 @@ class ServiceClient:
         devices = await self.where_is(address)
         digest = checksum(payload)
         encoded = encode_payload(payload)
+        scheduler = self.scheduler
         written: List[int] = []
         skipped: List[int] = []
         for position, device_id in enumerate(devices):
@@ -170,8 +224,10 @@ class ServiceClient:
                     checksum=digest,
                 )
             except ServiceUnavailableError:
+                scheduler.mark_offline(device_id)
                 skipped.append(position)
                 continue
+            scheduler.mark_online(device_id)
             written.append(position)
         if not written:
             raise ServiceUnavailableError(
@@ -198,24 +254,37 @@ class ServiceClient:
             ServiceUnavailableError: every copy position failed.
         """
         devices = await self.where_is(address)
+        scheduler = self.scheduler
+        try:
+            order = scheduler.order(address, devices)
+        except DeviceUnavailableError:
+            # Every copy's device is marked offline — probe them all
+            # anyway (last-resort walk) so a recovered store can serve
+            # and be marked back online.
+            order = list(range(len(devices)))
         skipped: List[int] = []
-        for position, device_id in enumerate(devices):
+        for position in order:
+            device_id = devices[position]
             try:
                 connection = await self._blockstore(device_id)
                 result = await connection.call(
                     "get", address=address, position=position
                 )
-            except (
-                ServiceUnavailableError,
-                BlockNotFoundError,
-                ChecksumMismatchError,
-            ):
+            except ServiceUnavailableError:
+                # Connection-level failure: route future reads around it.
+                scheduler.mark_offline(device_id)
+                skipped.append(position)
+                continue
+            except (BlockNotFoundError, ChecksumMismatchError):
+                # The store is up but this share is bad — keep the
+                # device in the pool.
                 skipped.append(position)
                 continue
             payload = decode_payload(result["payload"])
             if checksum(payload) != result.get("checksum"):
                 skipped.append(position)
                 continue
+            scheduler.mark_online(device_id)
             return ServiceReadResult(
                 payload=payload,
                 position_used=position,

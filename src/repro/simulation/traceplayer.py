@@ -2,9 +2,10 @@
 
 The paper's fairness definition covers "the data and the requests": a
 device with x% of the capacity should also see x% of the I/O.  The trace
-player replays a :mod:`repro.workloads` trace against a cluster, spreads
-reads over the available copies (round-robin per block by default), and
-models per-device service with a simple deterministic queue:
+player replays a :mod:`repro.workloads` trace against a cluster, routes
+each read through a pluggable :mod:`repro.scheduling` policy (per-block
+round-robin by default), and models per-device service with a simple
+deterministic queue:
 
     busy_until = max(busy_until, arrival) + service_time
 
@@ -17,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
-from ..hashing.primitives import stable_u64
+from ..exceptions import ConfigurationError, DeviceUnavailableError
+from ..scheduling import registry as sched_registry
+from ..scheduling.cache import LruCacheModel
 from ..workloads.traces import Op, Request
 from ..cluster.cluster import Cluster
 
@@ -106,6 +109,9 @@ class TracePlayer:
         service_time: float = 1.0,
         arrival_interval: float = 1.0,
         read_policy: str = "rotate",
+        *,
+        seed: int = 0,
+        cache: Optional[LruCacheModel] = None,
     ) -> None:
         """Build the player.
 
@@ -113,26 +119,54 @@ class TracePlayer:
             cluster: The cluster to drive.
             service_time: Time one share operation occupies its device.
             arrival_interval: Time between consecutive client requests.
-            read_policy: ``"rotate"`` spreads reads over the block's copies
-                (hashing block + a per-block counter); ``"primary"`` always
-                reads copy 0 — the ablation knob for read balance.
+            read_policy: Any online policy registered in
+                :mod:`repro.scheduling.registry` — ``"rotate"`` (the
+                round-robin alias, default), ``"primary"``, ``"random"``,
+                ``"least-loaded"``, ``"power-of-two"``, ...
+            seed: Determinism seed for the scheduler's hash draws.
+            cache: Optional per-device LRU cache model the scheduler
+                consults for service costs.
+
+        Raises:
+            ConfigurationError: for an unknown policy name, or an
+                offline baseline (water-filling) that cannot schedule
+                per-request.
         """
-        if read_policy not in ("rotate", "primary"):
-            raise ValueError("read_policy must be 'rotate' or 'primary'")
+        entry = sched_registry.lookup(read_policy)
+        if not entry.online:
+            raise ConfigurationError(
+                f"read_policy {entry.name!r} is an offline baseline; "
+                f"the trace player schedules per-request"
+            )
         if service_time <= 0 or arrival_interval <= 0:
             raise ValueError("service_time and arrival_interval must be > 0")
         self._cluster = cluster
         self._service = service_time
         self._interval = arrival_interval
-        self._read_policy = read_policy
-        self._read_counters: Dict[int, int] = {}
+        self._read_policy = entry.name
+        self._scheduler = entry.build(
+            cluster.device_ids(), seed=seed, cache=cache
+        )
+
+    @property
+    def scheduler(self):
+        """The live read scheduler (per-device load counters and all)."""
+        return self._scheduler
 
     def _pick_read_copy(self, address: int, placement) -> int:
-        if self._read_policy == "primary":
+        scheduler = self._scheduler
+        cluster = self._cluster
+        for device_id in placement:
+            if cluster.device(device_id).is_active:
+                scheduler.mark_online(device_id)
+            else:
+                scheduler.mark_offline(device_id)
+        try:
+            return scheduler.choose(address, placement)
+        except DeviceUnavailableError:
+            # Every copy is down; keep the old behaviour of charging the
+            # primary copy rather than failing the replay.
             return 0
-        counter = self._read_counters.get(address, 0)
-        self._read_counters[address] = counter + 1
-        return stable_u64("read-copy", address, counter) % len(placement)
 
     def play(self, trace: Iterable[Request], payload_size: int = 64) -> PlaybackReport:
         """Replay a trace; unknown blocks are auto-written on first read."""

@@ -1,0 +1,1 @@
+"""Tests for the read-scheduling layer."""

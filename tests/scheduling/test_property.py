@@ -1,0 +1,242 @@
+"""Property suite for scheduler invariants.
+
+The contracts pinned here, across random pools, replication degrees,
+offline subsets and address streams:
+
+* every choice is a position of the block's ``k`` placed copies, and the
+  chosen device is available — an offline device is never selected;
+* a fixed seed is fully deterministic: two fresh schedulers replay the
+  same stream with identical positions and identical load state;
+* ``choose_many`` is bit-for-bit the scalar ``choose`` loop — positions,
+  loads, counts, rotation state and cache transitions — on the NumPy
+  leg *and* the pure-Python leg (``repro._compat.np`` monkeypatched).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._compat as compat
+from repro.core import RedundantShare
+from repro.exceptions import DeviceUnavailableError
+from repro.scheduling import LruCacheModel, create, scheduler_names
+from repro.types import bins_from_capacities
+
+ONLINE_POLICIES = scheduler_names(online_only=True)
+
+capacities_vectors = st.lists(
+    st.integers(min_value=1, max_value=2_000), min_size=4, max_size=10
+)
+replication_degrees = st.integers(min_value=2, max_value=3)
+address_lists = st.lists(
+    st.integers(min_value=0, max_value=2**48), min_size=1, max_size=48
+)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def build_placements(capacities, copies, addresses):
+    """Real placements for the stream: one strategy call per block."""
+    bins = bins_from_capacities(capacities)
+    strategy = RedundantShare(bins, copies=copies)
+    placed = {}
+    rows = []
+    for address in addresses:
+        row = placed.get(address)
+        if row is None:
+            row = placed[address] = tuple(strategy.place(address))
+        rows.append(row)
+    return [spec.bin_id for spec in bins], rows
+
+
+def draw_offline(data, device_ids, copies):
+    """An offline subset small enough to keep every placement servable.
+
+    Placements are ``copies`` distinct devices, so knocking out at most
+    ``copies - 1`` devices can never strand a block.
+    """
+    return data.draw(
+        st.lists(
+            st.sampled_from(device_ids),
+            max_size=copies - 1,
+            unique=True,
+        )
+    )
+
+
+@pytest.mark.parametrize("policy", ONLINE_POLICIES)
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    addresses=address_lists,
+    seed=seeds,
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_choice_is_always_an_available_copy(
+    policy, capacities, copies, addresses, seed, data
+):
+    device_ids, rows = build_placements(capacities, copies, addresses)
+    offline = draw_offline(data, device_ids, copies)
+    scheduler = create(policy, device_ids, seed=seed)
+    for device_id in offline:
+        scheduler.mark_offline(device_id)
+    for address, row in zip(addresses, rows):
+        position = scheduler.choose(address, row)
+        assert 0 <= position < copies
+        assert scheduler.is_available(row[position])
+        assert row[position] not in offline
+    assert scheduler.requests == len(addresses)
+    assert sum(scheduler.counts().values()) == len(addresses)
+
+
+@pytest.mark.parametrize("policy", ONLINE_POLICIES)
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    addresses=address_lists,
+    seed=seeds,
+)
+@settings(max_examples=20, deadline=None)
+def test_fixed_seed_is_deterministic(policy, capacities, copies, addresses, seed):
+    device_ids, rows = build_placements(capacities, copies, addresses)
+    first = create(policy, device_ids, seed=seed)
+    second = create(policy, device_ids, seed=seed)
+    positions_first = [first.choose(a, row) for a, row in zip(addresses, rows)]
+    positions_second = [second.choose(a, row) for a, row in zip(addresses, rows)]
+    assert positions_first == positions_second
+    assert first.loads() == second.loads()
+    assert first.counts() == second.counts()
+
+
+@pytest.mark.parametrize("leg", ["numpy", "pure"])
+@pytest.mark.parametrize("policy", ONLINE_POLICIES)
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    addresses=address_lists,
+    seed=seeds,
+    use_cache=st.booleans(),
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_batch_matches_scalar_loop(
+    leg, policy, capacities, copies, addresses, seed, use_cache, data
+):
+    if leg == "numpy" and compat.np is None:
+        pytest.skip("NumPy unavailable")
+    device_ids, rows = build_placements(capacities, copies, addresses)
+    offline = draw_offline(data, device_ids, copies)
+    saved = compat.np
+    if leg == "pure":
+        compat.np = None
+    try:
+        scalar_cache = LruCacheModel(4) if use_cache else None
+        batch_cache = LruCacheModel(4) if use_cache else None
+        scalar = create(policy, device_ids, seed=seed, cache=scalar_cache)
+        batch = create(policy, device_ids, seed=seed, cache=batch_cache)
+        for device_id in offline:
+            scalar.mark_offline(device_id)
+            batch.mark_offline(device_id)
+        expected = [scalar.choose(a, row) for a, row in zip(addresses, rows)]
+        got = [int(p) for p in batch.choose_many(addresses, rows)]
+        assert got == expected
+        assert batch.loads() == scalar.loads()
+        assert batch.counts() == scalar.counts()
+        assert batch.requests == scalar.requests
+        if use_cache:
+            assert batch_cache.hits == scalar_cache.hits
+            assert batch_cache.misses == scalar_cache.misses
+            assert batch_cache.device_stats() == scalar_cache.device_stats()
+        # Carried state (rotation counters, loads) agrees too: the next
+        # scalar choice after the batch must coincide.
+        follow_up_scalar = scalar.choose(addresses[0], rows[0])
+        follow_up_batch = batch.choose(addresses[0], rows[0])
+        assert follow_up_batch == follow_up_scalar
+    finally:
+        compat.np = saved
+
+
+@pytest.mark.parametrize("policy", list(ONLINE_POLICIES) + ["water-filling"])
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    addresses=address_lists,
+    seed=seeds,
+)
+@settings(max_examples=15, deadline=None)
+def test_numpy_and_pure_legs_agree(policy, capacities, copies, addresses, seed):
+    if compat.np is None:
+        pytest.skip("NumPy unavailable")
+    device_ids, rows = build_placements(capacities, copies, addresses)
+
+    def run():
+        scheduler = create(policy, device_ids, seed=seed)
+        positions = [int(p) for p in scheduler.choose_many(addresses, rows)]
+        return positions, scheduler.loads(), scheduler.counts()
+
+    fast = run()
+    saved = compat.np
+    compat.np = None
+    try:
+        pure = run()
+    finally:
+        compat.np = saved
+    assert pure[0] == fast[0]
+    assert pure[1] == {k: float(v) for k, v in fast[1].items()}
+    assert pure[2] == {k: int(v) for k, v in fast[2].items()}
+
+
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    addresses=address_lists,
+    seed=seeds,
+)
+@settings(max_examples=15, deadline=None)
+def test_water_filling_schedule_is_valid_and_bounded(
+    capacities, copies, addresses, seed
+):
+    device_ids, rows = build_placements(capacities, copies, addresses)
+    scheduler = create("water-filling", device_ids, seed=seed)
+    positions = scheduler.choose_many(addresses, rows)
+    peak = 0.0
+    for position, row in zip(positions, rows):
+        assert 0 <= position < copies
+        assert scheduler.is_available(row[position])
+    peak = max(scheduler.loads().values())
+    bound = scheduler.last_lower_bound
+    assert bound is not None  # pools here are <= 10 devices
+    # online/offline alike, no schedule beats the fractional optimum
+    assert peak >= bound - 1e-9
+
+
+@pytest.mark.parametrize("policy", ONLINE_POLICIES)
+def test_all_copies_offline_raises(policy):
+    scheduler = create(policy, ["d0", "d1", "d2"], seed=1)
+    for device_id in ("d0", "d1"):
+        scheduler.mark_offline(device_id)
+    with pytest.raises(DeviceUnavailableError):
+        scheduler.choose(7, ["d0", "d1"])
+    # and the error left no partial accounting behind
+    assert scheduler.requests == 0
+
+
+@pytest.mark.parametrize("policy", ONLINE_POLICIES)
+@given(
+    capacities=capacities_vectors,
+    copies=replication_degrees,
+    address=st.integers(min_value=0, max_value=2**48),
+    seed=seeds,
+)
+@settings(max_examples=15, deadline=None)
+def test_order_is_a_permutation_led_by_the_choice(
+    policy, capacities, copies, address, seed
+):
+    device_ids, rows = build_placements(capacities, copies, [address])
+    probe = create(policy, device_ids, seed=seed)
+    expected_first = probe.choose(address, rows[0])
+    scheduler = create(policy, device_ids, seed=seed)
+    order = scheduler.order(address, rows[0])
+    assert order[0] == expected_first
+    assert sorted(order) == list(range(copies))
+    assert order[1:] == sorted(order[1:])

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cluster import Cluster
 from repro.core import RedundantShare
+from repro.exceptions import ConfigurationError
 from repro.simulation import TracePlayer
 from repro.types import bins_from_capacities
 from repro.workloads import Op, Request, mixed, write_population, zipf_reads
@@ -18,8 +19,12 @@ def make_cluster(capacities=(4000, 3000, 2000, 1000)):
 
 class TestValidation:
     def test_bad_policy(self):
-        with pytest.raises(ValueError):
-            TracePlayer(make_cluster(), read_policy="random")
+        with pytest.raises(ConfigurationError):
+            TracePlayer(make_cluster(), read_policy="no-such-policy")
+
+    def test_offline_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TracePlayer(make_cluster(), read_policy="water-filling")
 
     def test_bad_times(self):
         with pytest.raises(ValueError):

@@ -8,11 +8,14 @@ from repro.workloads import (
     Op,
     Request,
     ZipfGenerator,
+    flash_crowd,
+    flash_crowd_sample,
     hotspot,
     materialize,
     mixed,
     sequential,
     uniform,
+    uniform_sample,
     write_population,
     zipf_reads,
 )
@@ -163,3 +166,55 @@ class TestPersistence:
         path.write_text('{"op": "read"}\n')
         with pytest.raises(ValueError):
             list(load_trace(path))
+
+
+class TestBatchSamplers:
+    """The batched sampler APIs exist for the million-request scheduling
+    benches; each is element-wise identical on the NumPy and pure legs
+    (and where a streaming twin shares draw bases, identical to it)."""
+
+    def _both_legs(self, build):
+        import repro._compat as compat
+
+        fast = [int(value) for value in build()]
+        saved = compat.np
+        compat.np = None
+        try:
+            pure = [int(value) for value in build()]
+        finally:
+            compat.np = saved
+        assert fast == pure
+        return fast
+
+    def test_uniform_sample_range_and_legs(self):
+        values = self._both_legs(lambda: uniform_sample(500, 64, seed=9))
+        assert all(0 <= value < 64 for value in values)
+        assert values == self._both_legs(lambda: uniform_sample(500, 64, seed=9))
+
+    def test_zipf_sample_matches_distribution_and_legs(self):
+        values = self._both_legs(
+            lambda: ZipfGenerator(100, alpha=1.2, seed=7).sample(2_000)
+        )
+        assert all(0 <= value < 100 for value in values)
+        counts = collections.Counter(values)
+        assert counts[0] > counts.get(50, 0)
+
+    def test_flash_crowd_sample_matches_stream(self):
+        kwargs = dict(crowd_weight=0.8, crowd_size=2, seed=3)
+        streamed = list(flash_crowd(1_000, 50, **kwargs))
+        sampled = self._both_legs(
+            lambda: flash_crowd_sample(1_000, 50, **kwargs)
+        )
+        assert sampled == streamed
+        # the crowd window really concentrates traffic on the targets
+        window = streamed[250:750]
+        top_two = collections.Counter(window).most_common(2)
+        assert sum(count for _, count in top_two) > 0.6 * len(window)
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ValueError):
+            flash_crowd_sample(10, 5, crowd_weight=1.5)
+        with pytest.raises(ValueError):
+            flash_crowd_sample(10, 5, crowd_size=0)
+        with pytest.raises(ValueError):
+            flash_crowd_sample(10, 5, window=(0.9, 0.1))
