@@ -11,6 +11,21 @@ import pytest
 
 from _tables import emit
 from repro.analysis import DurabilityModel, mttdl, simulate_mttdl
+from repro.chaos import (
+    ChaosOptions,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FleetOptions,
+    FleetSimulator,
+    RepairPolicy,
+    crash_epochs,
+    run_chaos,
+)
+from repro.cluster import Cluster
+from repro.hashing.primitives import stable_u64
+from repro.placement.registry import create
+from repro.types import bins_from_capacities
 
 MTTF = 1000.0
 MTTR = 1.0
@@ -73,3 +88,75 @@ def test_simulation_validates_model(benchmark):
     benchmark.extra_info["analytic"] = round(analytic, 2)
     benchmark.extra_info["simulated"] = round(simulated, 2)
     assert simulated == pytest.approx(analytic, rel=0.2)
+
+
+@pytest.mark.parametrize("seed", [0, 5, 17])
+def test_fleet_matches_event_controller_losses(benchmark, seed):
+    """Zero-divergence cross-check: fleet vs event-driven controller.
+
+    Both engines replay the same seeded crash-only :class:`FaultSchedule`
+    (a simultaneous pair picked as the placement of a seeded victim
+    block, plus a later single crash) on the same bins and strategy; the
+    sets of lost blocks must be identical.  Any divergence means one
+    engine's loss accounting is wrong — fail loudly with both sets.
+    """
+    devices, blocks, copies = 10, 500, 2
+    bins = bins_from_capacities([blocks // 2] * devices, prefix="dev")
+    device_ids = [spec.bin_id for spec in bins]
+    strategy = create("striping", bins, copies=copies)
+    victim = stable_u64("durability-cross-check", seed) % blocks
+    pair = strategy.place(victim)
+    survivors = [device for device in device_ids if device not in pair]
+    single = survivors[stable_u64("durability-single", seed) % len(survivors)]
+    schedule = FaultSchedule(
+        [FaultEvent(2.0, FaultKind.CRASH, device) for device in pair]
+        + [FaultEvent(10.0, FaultKind.CRASH, single)]
+    )
+
+    def experiment():
+        cluster = Cluster(
+            bins, lambda b: create("striping", b, copies=copies)
+        )
+        for address in range(blocks):
+            cluster.write(address, b"x" * 8)
+        controller = run_chaos(
+            cluster,
+            schedule,
+            ChaosOptions(
+                seed=seed,
+                policy=RepairPolicy(rate=float(blocks), timeout=1000.0),
+                replacement_delay=1.0,
+            ),
+        )
+        fleet = FleetSimulator(
+            FleetOptions(
+                devices=devices,
+                blocks=blocks,
+                copies=copies,
+                epochs=16,
+                failure_rate=0.0,
+                repair_rate=float(blocks),
+                seed=seed,
+                strategy="striping",
+            ),
+            bins=bins,
+        ).run(crash_epochs(schedule, device_ids))
+        return controller, fleet
+
+    controller, fleet = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    controller_losses = {loss.address for loss in controller.loss_events}
+    fleet_losses = set(fleet.lost_addresses)
+    assert victim in controller_losses, (
+        "cross-check scenario degenerate: the victim block survived the "
+        "simultaneous pair crash"
+    )
+    if controller_losses != fleet_losses:
+        pytest.fail(
+            "LOSS DIVERGENCE between the event-driven controller and the "
+            f"fleet engine (seed={seed}):\n"
+            f"  controller lost {sorted(controller_losses)}\n"
+            f"  fleet lost      {sorted(fleet_losses)}\n"
+            f"  only controller {sorted(controller_losses - fleet_losses)}\n"
+            f"  only fleet      {sorted(fleet_losses - controller_losses)}"
+        )
+    assert controller.faults.get("crash", 0) == fleet.device_failures

@@ -1,4 +1,5 @@
-"""Analytical models: durability (MTTDL) and concentration bounds."""
+"""Analytical models: durability (MTTDL), mean-field replication and
+concentration bounds."""
 
 from .concentration import (
     deviation_probability,
@@ -14,12 +15,21 @@ from .durability import (
     observed_model,
     simulate_mttdl,
 )
+from .mean_field import (
+    mean_field_distribution,
+    mean_field_step,
+    mean_field_trajectory,
+    total_variation,
+)
 
 __all__ = [
     "DurabilityModel",
     "annual_loss_probability",
     "deviation_probability",
     "fairness_tolerances",
+    "mean_field_distribution",
+    "mean_field_step",
+    "mean_field_trajectory",
     "mttdl",
     "mttdl_mirror",
     "observed_model",

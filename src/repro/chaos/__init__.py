@@ -11,6 +11,10 @@ The subsystem splits into four layers:
 * :mod:`repro.chaos.controller` — the discrete-event controller that ties
   them together and reports blocks-at-risk, losses, repair throughput and
   post-repair fairness drift.
+* :mod:`repro.chaos.fleet` — the columnar fleet-scale simulator
+  (thousands of devices x millions of blocks over simulated years) with
+  mean-field durability validation; cross-checked against the
+  event-driven controller for loss accounting.
 
 The ``repro chaos`` CLI subcommand is a thin front-end over
 :func:`run_chaos`.
@@ -22,6 +26,16 @@ from .controller import (
     ChaosReport,
     LossEvent,
     run_chaos,
+)
+from .fleet import (
+    FleetOptions,
+    FleetReport,
+    FleetSample,
+    FleetSimulator,
+    PhasePoint,
+    crash_epochs,
+    durability_phase_diagram,
+    run_fleet,
 )
 from .health import FlakyProfile, HealthLedger, HealthState
 from .recovery import (
@@ -44,15 +58,23 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "FlakyProfile",
+    "FleetOptions",
+    "FleetReport",
+    "FleetSample",
+    "FleetSimulator",
     "HealthLedger",
     "HealthState",
     "LossEvent",
+    "PhasePoint",
     "RepairPolicy",
     "RepairQueue",
     "RepairTask",
+    "crash_epochs",
     "degraded_read",
+    "durability_phase_diagram",
     "gather_shares",
     "generate_schedule",
     "rebuild_share",
     "run_chaos",
+    "run_fleet",
 ]

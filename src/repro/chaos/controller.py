@@ -40,6 +40,7 @@ from ..analysis.durability import DurabilityModel, mttdl, observed_model
 from ..capacity.clipping import is_capacity_efficient
 from ..cluster.cluster import Cluster
 from ..exceptions import (
+    ConfigurationError,
     DecodingError,
     DeviceUnavailableError,
     InfeasibleRedundancyError,
@@ -78,6 +79,16 @@ class ChaosOptions:
     sample_interval: float = 1.0
     allow_degraded: bool = False
     alpha: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            # A zero interval would make the sampler reschedule itself at
+            # the same instant forever while any fault window is open.
+            raise ConfigurationError("sample_interval must be positive")
+        if self.replacement_delay < 0:
+            raise ConfigurationError("replacement_delay must be >= 0")
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError("alpha must be in (0, 1)")
 
 
 @dataclass(frozen=True)
@@ -574,7 +585,14 @@ class ChaosController:
                 time=self._sim.now,
             )
 
-    def _sample(self) -> None:
+    def _record_sample(self) -> None:
+        """Take one blocks-at-risk sample and mirror it to the sink.
+
+        Used by the periodic sampler *and* by :meth:`_finish` — a run
+        shorter than ``sample_interval`` still produces a final
+        ``chaos.sample`` trace event instead of being invisible in
+        ``--jsonl`` output.
+        """
         at_risk = self._blocks_at_risk()
         depth = len(self._queue)
         self._report.samples.append((self._sim.now, at_risk, depth))
@@ -587,6 +605,9 @@ class ChaosController:
                 at_risk=at_risk,
                 queue_depth=depth,
             )
+
+    def _sample(self) -> None:
+        self._record_sample()
         # Keep sampling while anything can still change: open fault
         # windows / pending replacements, queued repairs, or a busy
         # worker.  Otherwise let the simulation drain and stop.
@@ -595,9 +616,7 @@ class ChaosController:
 
     def _finish(self) -> None:
         self._report.horizon = max(self._sim.now, self._schedule.duration)
-        self._report.samples.append(
-            (self._sim.now, self._blocks_at_risk(), len(self._queue))
-        )
+        self._record_sample()
         if self._latencies:
             self._report.mean_repair_latency = sum(self._latencies) / len(
                 self._latencies
@@ -636,6 +655,10 @@ class ChaosController:
         if crashes < 1 or not self._repair_durations:
             return None
         mean_repair = sum(self._repair_durations) / len(self._repair_durations)
+        if mean_repair <= 0:
+            # Zero elapsed repair time (e.g. an empty device crashing
+            # with replacement_delay=0): there is no repair rate to fit.
+            return None
         try:
             return observed_model(
                 devices=self._initial_devices,

@@ -1,0 +1,709 @@
+"""Columnar fleet-scale chaos: vectorized failure/repair simulation.
+
+:class:`ChaosController` replays faults one discrete event at a time
+against a live :class:`~repro.cluster.cluster.Cluster` — perfect for
+validating the repair machinery on tens of devices, hopeless for a
+thousand devices times a million blocks over a decade.  This module is
+the columnar counterpart: block state lives in arrays (device assignment
+columns from :meth:`place_many`, per-block copy counts, per-share alive
+masks) and time advances in fixed *epochs* (``1 / epochs_per_year``
+years each).
+
+Per epoch:
+
+1. **Failure draw.**  Every device fails independently with probability
+   ``p = 1 - exp(-failure_rate * dt)``; the draw is one
+   :func:`~repro.placement.kernels.bernoulli_indices` call on the
+   SplitMix64 pipeline, so the failed-device set is a pure function of
+   ``(seed, epoch)`` and bit-identical between the NumPy leg and the
+   pure-Python leg (``REPRO_PURE_PYTHON=1``).  A failed device loses all
+   its shares and is immediately replaced by a blank device in the same
+   slot (the placement map never changes — repairs rebuild onto the
+   replacement, exactly the controller's crash/replace semantics with a
+   sub-epoch replacement delay).  A block whose copy count reaches zero
+   is lost for good (class 0 is absorbing).
+2. **Priority repair sweep.**  A budget of ``repair_rate`` share
+   rebuilds per epoch (fractional budgets carry over) is spent on the
+   lowest-redundancy blocks first — class 1, then class 2, ... — with
+   ties broken by ascending block address, mirroring the event-driven
+   :class:`~repro.chaos.recovery.RepairQueue` priority
+   ``(survivors, address, position)``.  At most one share of a block is
+   rebuilt per epoch (mass moves up one class), which is also what the
+   mean-field recursion models.
+
+The observed copy-count distribution is validated two ways: the
+steady-state histogram (time-average over the second half of the run)
+is fitted against the mean-field prediction of
+:mod:`repro.analysis.mean_field` (Sun et al., PAPERS.md) by
+total-variation distance, and the observed failure/repair rates feed
+:func:`repro.analysis.durability.observed_model` for an empirical MTTDL
+— the same fit the event-driven controller reports.
+
+Cross-checks against the controller use :func:`crash_epochs` to map a
+:class:`~repro.chaos.schedule.FaultSchedule` onto scheduled crash
+epochs (one controller time unit == one epoch); with the same bins and
+strategy both engines must then agree exactly on which blocks were lost
+(`benchmarks/bench_table_fleet_durability.py` and the ``fleet-smoke``
+CI job gate on zero divergence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from .._compat import get_numpy
+from ..analysis.durability import DurabilityModel, mttdl, observed_model
+from ..analysis.mean_field import mean_field_distribution, total_variation
+from ..exceptions import ConfigurationError
+from ..hashing.primitives import derive_base
+from ..placement.kernels import bernoulli_indices
+from ..placement.registry import create
+from ..types import BinSpec, bins_from_capacities
+from .schedule import FaultKind, FaultSchedule
+
+__all__ = [
+    "FleetOptions",
+    "FleetReport",
+    "FleetSample",
+    "FleetSimulator",
+    "PhasePoint",
+    "crash_epochs",
+    "durability_phase_diagram",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetOptions:
+    """Tuning for one fleet run.
+
+    Attributes:
+        devices: Fleet size (uniform capacity, named ``dev-{i}``).
+        blocks: Block population; every block starts at full redundancy.
+        copies: Replication degree ``k``.
+        years: Simulated horizon (ignored when ``epochs`` is set).
+        epochs_per_year: Epoch resolution; ``dt = 1 / epochs_per_year``.
+        epochs: Explicit epoch count override (exact horizons for
+            cross-checks against the event-driven controller).
+        failure_rate: Device failures per device-year (so the per-epoch
+            failure probability is ``1 - exp(-failure_rate * dt)``).
+        repair_rate: Fleet-wide share rebuilds per epoch.
+        seed: Seeds the per-epoch failure draws.
+        strategy: Registry name used for the initial ``place_many``.
+        device_capacity: Uniform per-device capacity handed to the
+            strategy (relative units; only ratios matter).
+        sample_every: Epochs between samples (0 = auto, ~120 samples).
+        record_repairs: Keep the full ``(epoch, block)`` repair order in
+            the report (tests only — it can be millions of entries).
+    """
+
+    devices: int = 1000
+    blocks: int = 1_000_000
+    copies: int = 3
+    years: float = 10.0
+    epochs_per_year: int = 365
+    epochs: Optional[int] = None
+    failure_rate: float = 0.08
+    repair_rate: float = 5000.0
+    seed: int = 0
+    strategy: str = "striping"
+    device_capacity: int = 100
+    sample_every: int = 0
+    record_repairs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ConfigurationError("devices must be >= 1")
+        if self.blocks < 1:
+            raise ConfigurationError("blocks must be >= 1")
+        if not 1 <= self.copies <= self.devices:
+            raise ConfigurationError("copies must be in [1, devices]")
+        if self.epochs_per_year < 1:
+            raise ConfigurationError("epochs_per_year must be >= 1")
+        if self.epochs is None and self.years <= 0:
+            raise ConfigurationError("years must be positive")
+        if self.epochs is not None and self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if self.failure_rate < 0:
+            raise ConfigurationError("failure_rate must be >= 0")
+        if self.repair_rate < 0:
+            raise ConfigurationError("repair_rate must be >= 0")
+        if self.device_capacity < 1:
+            raise ConfigurationError("device_capacity must be >= 1")
+        if self.sample_every < 0:
+            raise ConfigurationError("sample_every must be >= 0")
+
+    @property
+    def dt(self) -> float:
+        """Epoch length in years."""
+        return 1.0 / self.epochs_per_year
+
+    @property
+    def total_epochs(self) -> int:
+        """Number of epochs the run simulates (>= 1)."""
+        if self.epochs is not None:
+            return self.epochs
+        return max(1, round(self.years * self.epochs_per_year))
+
+    @property
+    def horizon_years(self) -> float:
+        """Simulated horizon in years (exactly ``total_epochs * dt``)."""
+        return self.total_epochs * self.dt
+
+    @property
+    def failure_probability(self) -> float:
+        """Per-device failure probability in one epoch."""
+        return -math.expm1(-self.failure_rate * self.dt)
+
+    @property
+    def resolved_sample_every(self) -> int:
+        """Sampling cadence in epochs (auto: ~120 samples per run)."""
+        if self.sample_every > 0:
+            return self.sample_every
+        return max(1, self.total_epochs // 120)
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """One point of the copy-count timeline.
+
+    Attributes:
+        epoch: Epoch index (1-based; epoch 0 is the initial state).
+        year: ``epoch * dt``.
+        damaged: Blocks currently below full redundancy but not lost.
+        lost: Cumulative blocks lost (class 0, absorbing).
+        distribution: Copy-count distribution ``x_0 .. x_k`` (fractions).
+    """
+
+    epoch: int
+    year: float
+    damaged: int
+    lost: int
+    distribution: Tuple[float, ...]
+
+
+@dataclass
+class FleetReport:
+    """Everything a fleet run measured.
+
+    Attributes:
+        devices/blocks/copies/epochs/dt/strategy/seed: Echo of the run
+            configuration (``dt`` in years per epoch).
+        device_failures: Device-failure events drawn (with replacement —
+            a device slot can fail repeatedly).
+        repairs_completed: Shares rebuilt by the priority sweep.
+        mean_repair_epochs: Mean share down-time in epochs (same-epoch
+            rebuilds count as half an epoch, so the mean is positive
+            whenever any repair happened).
+        lost_addresses: Blocks that reached copy count zero, in loss
+            order.
+        samples: Copy-count timeline (always includes the final epoch).
+        final_distribution: Copy-count distribution at the last epoch.
+        steady_state: Time-averaged distribution over the second half of
+            the samples — the histogram validated against theory.
+        mean_field: Mean-field prediction averaged over the same sample
+            epochs (see :mod:`repro.analysis.mean_field`).
+        counts: Final per-block copy counts (leg-native column: int16
+            array on the NumPy leg, list on the pure leg).
+        repair_order: ``(epoch, block)`` completion order when
+            ``record_repairs`` was set.
+        durability: Empirical MTTDL model fitted from the observed
+            failure/repair rates (None without failures or repairs).
+    """
+
+    devices: int = 0
+    blocks: int = 0
+    copies: int = 0
+    epochs: int = 0
+    dt: float = 0.0
+    strategy: str = ""
+    seed: int = 0
+    device_failures: int = 0
+    repairs_completed: int = 0
+    mean_repair_epochs: float = 0.0
+    lost_addresses: List[int] = field(default_factory=list)
+    samples: List[FleetSample] = field(default_factory=list)
+    final_distribution: Tuple[float, ...] = ()
+    steady_state: Tuple[float, ...] = ()
+    mean_field: Tuple[float, ...] = ()
+    counts: object = None
+    repair_order: List[Tuple[int, int]] = field(default_factory=list)
+    durability: Optional[DurabilityModel] = None
+
+    @property
+    def lost_blocks(self) -> int:
+        """Blocks lost over the run."""
+        return len(self.lost_addresses)
+
+    @property
+    def data_loss(self) -> bool:
+        """True when any block became unrecoverable."""
+        return bool(self.lost_addresses)
+
+    @property
+    def horizon_years(self) -> float:
+        """Simulated horizon in years."""
+        return self.epochs * self.dt
+
+    @property
+    def repair_throughput(self) -> float:
+        """Completed share rebuilds per epoch over the whole run."""
+        if self.epochs <= 0:
+            return 0.0
+        return self.repairs_completed / self.epochs
+
+    @property
+    def mean_field_deviation(self) -> float:
+        """Total-variation distance between steady state and prediction."""
+        if not self.steady_state or not self.mean_field:
+            return 0.0
+        return total_variation(self.steady_state, self.mean_field)
+
+    def counts_list(self) -> List[int]:
+        """Final copy counts as a plain list (leg-comparison helper)."""
+        if self.counts is None:
+            return []
+        return [int(count) for count in self.counts]
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+
+        def _dist(distribution: Tuple[float, ...]) -> str:
+            return " ".join(f"{value:.4f}" for value in distribution)
+
+        lines = [
+            f"fleet                {self.devices} devices x "
+            f"{self.blocks} blocks x k={self.copies} ({self.strategy})",
+            f"horizon              {self.horizon_years:.2f} years "
+            f"({self.epochs} epochs, seed={self.seed})",
+            f"device failures      {self.device_failures}",
+            f"repairs completed    {self.repairs_completed} "
+            f"(mean down-time {self.mean_repair_epochs:.2f} epochs, "
+            f"{self.repair_throughput:.1f}/epoch)",
+            f"blocks lost          {self.lost_blocks}",
+            f"steady-state dist    {_dist(self.steady_state)}",
+            f"mean-field dist      {_dist(self.mean_field)}",
+            f"mean-field fit       TV={self.mean_field_deviation:.4f}",
+        ]
+        if self.durability is not None:
+            lines.append(
+                f"observed durability  MTTF={self.durability.mttf:.1f}y "
+                f"MTTR={self.durability.mttr * 365:.2f}d "
+                f"=> MTTDL~{mttdl(self.durability):.0f}y"
+            )
+        return "\n".join(lines)
+
+
+class FleetSimulator:
+    """Runs one columnar failure/repair campaign to its horizon."""
+
+    def __init__(
+        self,
+        options: Optional[FleetOptions] = None,
+        bins: Optional[Sequence[BinSpec]] = None,
+        strategy=None,
+    ) -> None:
+        self._options = options or FleetOptions()
+        if bins is None:
+            bins = bins_from_capacities(
+                [self._options.device_capacity] * self._options.devices,
+                prefix="dev",
+            )
+        if len(bins) != self._options.devices:
+            raise ConfigurationError(
+                f"bins ({len(bins)}) must match devices "
+                f"({self._options.devices})"
+            )
+        self._bins = list(bins)
+        self._strategy = strategy or create(
+            self._options.strategy, self._bins, copies=self._options.copies
+        )
+
+    @property
+    def options(self) -> FleetOptions:
+        """The run configuration."""
+        return self._options
+
+    def run(
+        self, crash_schedule: Optional[Mapping[int, Sequence[int]]] = None
+    ) -> FleetReport:
+        """Simulate the full horizon and report.
+
+        Args:
+            crash_schedule: Optional ``{epoch: [device_index, ...]}``
+                mapping of *scheduled* crashes.  When given, the random
+                per-epoch failure draws are disabled — used by the
+                zero-divergence cross-checks against the event-driven
+                controller (see :func:`crash_epochs`).
+        """
+        opts = self._options
+        np = get_numpy()
+        blocks = opts.blocks
+        devices = opts.devices
+        copies = opts.copies
+        epochs = opts.total_epochs
+        p_fail = opts.failure_probability
+
+        batch = self._strategy.place_many(range(blocks))
+        columns = batch.columns
+
+        # --- columnar state -------------------------------------------
+        if np is not None:
+            alive = np.ones((copies, blocks), dtype=bool)
+            counts = np.full(blocks, copies, dtype=np.int16)
+            dead_since = np.zeros((copies, blocks), dtype=np.int64)
+            # Inverted CSR index: which (slot, block) shares live on each
+            # device.  Assignment is static (replacements take the failed
+            # device's slot), so this is built once for the whole run.
+            device_concat = np.concatenate(
+                [np.asarray(column, dtype=np.int64) for column in columns]
+            )
+            slot_concat = np.repeat(
+                np.arange(copies, dtype=np.int64), blocks
+            )
+            block_concat = np.tile(np.arange(blocks, dtype=np.int64), copies)
+            order = np.argsort(device_concat, kind="stable")
+            holds_slot = slot_concat[order]
+            holds_block = block_concat[order]
+            pointers = np.searchsorted(
+                device_concat[order], np.arange(devices + 1)
+            )
+
+            def kill_device(device: int, epoch: int) -> List[int]:
+                low, high = pointers[device], pointers[device + 1]
+                slots = holds_slot[low:high]
+                hit_blocks = holds_block[low:high]
+                live = alive[slots, hit_blocks]
+                if not live.any():
+                    return []
+                slots = slots[live]
+                hit_blocks = hit_blocks[live]
+                alive[slots, hit_blocks] = False
+                dead_since[slots, hit_blocks] = epoch
+                counts[hit_blocks] -= 1
+                return hit_blocks.tolist()
+
+            def revive_one(block: int, epoch: int) -> int:
+                column = alive[:, block]
+                for slot in range(copies):
+                    if not column[slot]:
+                        alive[slot, block] = True
+                        counts[block] += 1
+                        return epoch - int(dead_since[slot, block])
+                raise AssertionError("repair target has no dead share")
+
+        else:
+            alive = [[True] * blocks for _ in range(copies)]
+            counts = [copies] * blocks
+            dead_since = [[0] * blocks for _ in range(copies)]
+            holds: Dict[int, List[Tuple[int, int]]] = {}
+            for slot, column in enumerate(columns):
+                for block, device in enumerate(column):
+                    holds.setdefault(int(device), []).append((slot, block))
+
+            def kill_device(device: int, epoch: int) -> List[int]:
+                hit = []
+                for slot, block in holds.get(device, ()):
+                    if alive[slot][block]:
+                        alive[slot][block] = False
+                        dead_since[slot][block] = epoch
+                        counts[block] -= 1
+                        hit.append(block)
+                return hit
+
+            def revive_one(block: int, epoch: int) -> int:
+                for slot in range(copies):
+                    if not alive[slot][block]:
+                        alive[slot][block] = True
+                        counts[block] += 1
+                        return epoch - dead_since[slot][block]
+                raise AssertionError("repair target has no dead share")
+
+        # Damaged blocks bucketed by current copy count (class); blocks
+        # at full redundancy or lost (class 0) are in no bucket.  Shared
+        # bookkeeping for both legs — it only ever sees Python ints.
+        damaged: List[Set[int]] = [set() for _ in range(copies + 1)]
+        class_counts = [0] * (copies + 1)
+        class_counts[copies] = blocks
+        lost: List[int] = []
+        device_failures = 0
+        repairs = 0
+        repair_wait_epochs = 0  # whole epochs a rebuilt share was down
+        same_epoch_repairs = 0  # rebuilt in the epoch it died
+        budget_carry = 0.0
+        repair_order: Optional[List[Tuple[int, int]]] = (
+            [] if opts.record_repairs else None
+        )
+        sample_every = opts.resolved_sample_every
+        samples: List[FleetSample] = []
+        sink = obs.sink()
+
+        def record_sample(epoch: int) -> None:
+            damaged_total = sum(class_counts[1:copies])
+            distribution = tuple(
+                count / blocks for count in class_counts
+            )
+            samples.append(
+                FleetSample(
+                    epoch=epoch,
+                    year=epoch * opts.dt,
+                    damaged=damaged_total,
+                    lost=len(lost),
+                    distribution=distribution,
+                )
+            )
+            if sink.enabled:
+                obs.metrics().histogram("chaos.fleet.damaged").observe(
+                    damaged_total
+                )
+                sink.emit(
+                    "chaos.fleet.sample",
+                    epoch=epoch,
+                    damaged=damaged_total,
+                    lost=len(lost),
+                    distribution=list(distribution),
+                )
+
+        for epoch in range(1, epochs + 1):
+            # --- failures ---------------------------------------------
+            if crash_schedule is not None:
+                failed = sorted(
+                    int(device) for device in crash_schedule.get(epoch, ())
+                )
+            elif p_fail > 0.0:
+                base = derive_base("chaos-fleet-fail", opts.seed, epoch)
+                failed = bernoulli_indices(base, devices, p_fail)
+            else:
+                failed = []
+            for device in failed:
+                device = int(device)
+                if not 0 <= device < devices:
+                    raise ConfigurationError(
+                        f"scheduled crash device {device} out of range"
+                    )
+                device_failures += 1
+                for block in kill_device(device, epoch):
+                    count = int(counts[block])  # new count after the kill
+                    class_counts[count + 1] -= 1
+                    class_counts[count] += 1
+                    if count == 0:
+                        damaged[1].discard(block)
+                        lost.append(block)
+                        continue
+                    if count + 1 < copies:
+                        damaged[count + 1].discard(block)
+                    damaged[count].add(block)
+
+            # --- priority repair sweep --------------------------------
+            budget_carry += opts.repair_rate
+            budget = int(budget_carry)
+            budget_carry -= budget
+            promotions: List[Tuple[int, int]] = []
+            for klass in range(1, copies):
+                if budget <= 0:
+                    break
+                bucket = damaged[klass]
+                if not bucket:
+                    continue
+                if len(bucket) <= budget:
+                    taken = sorted(bucket)
+                else:
+                    taken = heapq.nsmallest(budget, bucket)
+                for block in taken:
+                    bucket.discard(block)
+                    wait = revive_one(block, epoch)
+                    if wait:
+                        repair_wait_epochs += wait
+                    else:
+                        same_epoch_repairs += 1
+                    repairs += 1
+                    class_counts[klass] -= 1
+                    class_counts[klass + 1] += 1
+                    if repair_order is not None:
+                        repair_order.append((epoch, block))
+                    if klass + 1 < copies:
+                        # Re-inserted only after the sweep so a block is
+                        # repaired at most once per epoch (the mean-field
+                        # recursion moves mass up exactly one class).
+                        promotions.append((klass + 1, block))
+                budget -= len(taken)
+            for klass, block in promotions:
+                damaged[klass].add(block)
+
+            # --- sampling ---------------------------------------------
+            if epoch % sample_every == 0 or epoch == epochs:
+                record_sample(epoch)
+
+        # --- aftermath ------------------------------------------------
+        steady_window = [
+            sample for sample in samples if sample.epoch > epochs // 2
+        ] or samples[-1:]
+        steady_state = tuple(
+            sum(sample.distribution[klass] for sample in steady_window)
+            / len(steady_window)
+            for klass in range(copies + 1)
+        )
+        prediction = tuple(
+            mean_field_distribution(
+                copies=copies,
+                failure_probability=p_fail,
+                repair_fraction=opts.repair_rate / blocks,
+                sample_epochs=[sample.epoch for sample in steady_window],
+            )
+        )
+        if repairs:
+            mean_repair_epochs = (
+                repair_wait_epochs + 0.5 * same_epoch_repairs
+            ) / repairs
+        else:
+            mean_repair_epochs = 0.0
+
+        durability = None
+        if device_failures and mean_repair_epochs > 0:
+            try:
+                durability = observed_model(
+                    devices=devices,
+                    tolerance=copies - 1,
+                    failures=device_failures,
+                    horizon=opts.horizon_years,
+                    mean_repair_time=mean_repair_epochs * opts.dt,
+                )
+            except ValueError:
+                durability = None
+
+        report = FleetReport(
+            devices=devices,
+            blocks=blocks,
+            copies=copies,
+            epochs=epochs,
+            dt=opts.dt,
+            strategy=opts.strategy,
+            seed=opts.seed,
+            device_failures=device_failures,
+            repairs_completed=repairs,
+            mean_repair_epochs=mean_repair_epochs,
+            lost_addresses=lost,
+            samples=samples,
+            final_distribution=samples[-1].distribution,
+            steady_state=steady_state,
+            mean_field=prediction,
+            counts=counts,
+            repair_order=repair_order or [],
+            durability=durability,
+        )
+        if sink.enabled:
+            registry = obs.metrics()
+            registry.counter("chaos.fleet.epochs").add(epochs)
+            registry.counter("chaos.fleet.device_failures").add(
+                device_failures
+            )
+            registry.counter("chaos.fleet.repairs").add(repairs)
+            registry.counter("chaos.fleet.blocks_lost").add(len(lost))
+            registry.histogram("chaos.fleet.mean_repair_epochs").observe(
+                mean_repair_epochs
+            )
+            sink.emit(
+                "chaos.fleet.finished",
+                epochs=epochs,
+                device_failures=device_failures,
+                repairs=repairs,
+                lost=len(lost),
+                tv_distance=report.mean_field_deviation,
+            )
+        return report
+
+
+def run_fleet(
+    options: Optional[FleetOptions] = None,
+    crash_schedule: Optional[Mapping[int, Sequence[int]]] = None,
+) -> FleetReport:
+    """Convenience wrapper: build a simulator and run it once."""
+    return FleetSimulator(options).run(crash_schedule)
+
+
+def crash_epochs(
+    schedule: FaultSchedule, device_ids: Sequence[str]
+) -> Dict[int, List[int]]:
+    """Map a :class:`FaultSchedule` onto fleet crash epochs.
+
+    One controller time unit corresponds to one fleet epoch; crash times
+    are rounded to the nearest epoch (minimum 1).  Only pure-crash
+    schedules can be cross-checked — the fleet engine has no notion of
+    outage/flaky windows or shrinks.
+
+    Raises:
+        ConfigurationError: on non-crash events or unknown device ids.
+    """
+    index = {device_id: i for i, device_id in enumerate(device_ids)}
+    mapping: Dict[int, List[int]] = {}
+    for event in schedule:
+        if event.kind is not FaultKind.CRASH:
+            raise ConfigurationError(
+                "fleet cross-checks support crash-only schedules "
+                f"(got {event.kind.value!r} at t={event.time:g})"
+            )
+        if event.device_id not in index:
+            raise ConfigurationError(
+                f"schedule names unknown device {event.device_id!r}"
+            )
+        epoch = max(1, int(round(event.time)))
+        mapping.setdefault(epoch, []).append(index[event.device_id])
+    for devices in mapping.values():
+        devices.sort()
+    return mapping
+
+
+@dataclass(frozen=True)
+class PhasePoint:
+    """One durability-vs-repair-rate measurement.
+
+    Attributes:
+        repair_rate: Share rebuilds per epoch for this run.
+        lost_fraction: Fraction of the block population lost.
+        mean_copies: Expected copy count under the steady state.
+        steady_state: Steady-state copy-count distribution.
+        mean_field_deviation: TV distance to the mean-field prediction.
+    """
+
+    repair_rate: float
+    lost_fraction: float
+    mean_copies: float
+    steady_state: Tuple[float, ...]
+    mean_field_deviation: float
+
+
+def durability_phase_diagram(
+    options: FleetOptions, repair_rates: Sequence[float]
+) -> List[PhasePoint]:
+    """Sweep ``repair_rate`` and record where durability collapses.
+
+    Below the critical repair rate the fleet cannot keep up with the
+    failure flux: steady-state mass drains from class ``k`` toward the
+    absorbing class 0 and the lost fraction takes off.  Above it, the
+    distribution concentrates at full redundancy.  The sweep reuses the
+    same seed per point, so two rates differ only in repair capacity.
+    """
+    points = []
+    for rate in repair_rates:
+        report = FleetSimulator(
+            dataclasses.replace(options, repair_rate=float(rate))
+        ).run()
+        mean_copies = sum(
+            klass * fraction
+            for klass, fraction in enumerate(report.steady_state)
+        )
+        points.append(
+            PhasePoint(
+                repair_rate=float(rate),
+                lost_fraction=report.lost_blocks / options.blocks,
+                mean_copies=mean_copies,
+                steady_state=report.steady_state,
+                mean_field_deviation=report.mean_field_deviation,
+            )
+        )
+    return points

@@ -271,15 +271,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if seed is None:
         seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args, seed)
+
+    blocks = 120 if args.blocks is None else args.blocks
+    strategy = args.strategy or "redundant-share"
     capacities = _parse_capacities(args.capacities)
-    scale = max(1, -(-4 * args.blocks * args.copies // sum(capacities)))
+    scale = max(1, -(-4 * blocks * args.copies // sum(capacities)))
     bins = bins_from_capacities(
         [capacity * scale for capacity in capacities], prefix=args.prefix
     )
     cluster = Cluster(
-        bins, lambda b: _strategy_for(args.strategy, b, args.copies)
+        bins, lambda b: _strategy_for(strategy, b, args.copies)
     )
-    for address in range(args.blocks):
+    for address in range(blocks):
         cluster.write(address, b"x" * 16)
 
     if args.schedule:
@@ -361,6 +366,96 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.strict and (
         report.data_loss
         or (report.fairness is not None and not report.fairness.accepted)
+    ):
+        return 1
+    return 0
+
+
+def _cmd_chaos_fleet(args: argparse.Namespace, seed: int) -> int:
+    """Columnar fleet-scale campaign: ``repro chaos --fleet``.
+
+    Simulates ``--devices`` x ``--blocks`` over ``--years`` in fixed
+    epochs, prints the copy-count timeline, the steady-state histogram
+    against the mean-field prediction, the fitted MTTDL, and (with
+    ``--phase``) a durability-vs-repair-rate phase diagram.
+    """
+    from .chaos import FleetOptions, FleetSimulator, durability_phase_diagram
+    from .exceptions import ConfigurationError
+    from .obs import JsonlSink, MemorySink, TeeSink, metrics, reset_metrics, use_sink
+    from .obs.report import render_report
+
+    try:
+        options = FleetOptions(
+            devices=args.devices,
+            blocks=1_000_000 if args.blocks is None else args.blocks,
+            copies=args.copies,
+            years=args.years,
+            epochs_per_year=args.epochs_per_year,
+            failure_rate=args.failure_rate,
+            repair_rate=args.repair_rate,
+            seed=seed,
+            strategy=args.strategy or "striping",
+            device_capacity=args.device_capacity,
+            sample_every=args.sample_every,
+        )
+        simulator = FleetSimulator(options)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+
+    reset_metrics()
+    memory = MemorySink()
+    sink = memory
+    if args.jsonl:
+        sink = TeeSink([memory, JsonlSink(args.jsonl)])
+    with use_sink(sink):
+        report = simulator.run()
+        phase_points = []
+        if args.phase:
+            try:
+                rates = [
+                    float(rate)
+                    for rate in args.phase.split(",")
+                    if rate.strip()
+                ]
+            except ValueError:
+                raise SystemExit(f"bad --phase rates: {args.phase!r}")
+            phase_points = durability_phase_diagram(options, rates)
+        sink.close()
+
+    print(report.summary())
+    print()
+    print("copy-count timeline (damaged / lost):")
+    shown = report.samples
+    if len(shown) > 12:
+        step = (len(shown) - 1) / 11
+        shown = [shown[round(index * step)] for index in range(12)]
+    for sample in shown:
+        print(
+            f"  y={sample.year:<8.2f}damaged={sample.damaged:<8}"
+            f"lost={sample.lost}"
+        )
+    if phase_points:
+        print()
+        print("durability vs repair rate:")
+        print("  rate/epoch  lost_frac  mean_copies  TV(mean-field)")
+        for point in phase_points:
+            print(
+                f"  {point.repair_rate:<11.6g}"
+                f"{point.lost_fraction:<11.6f}"
+                f"{point.mean_copies:<13.4f}"
+                f"{point.mean_field_deviation:.4f}"
+            )
+    print()
+    # Scope the report to the fleet's namespace: placement-kernel
+    # metrics (precompute cache etc.) exist only on the NumPy leg, and
+    # CLI output must stay byte-identical across legs.
+    fleet_trace = MemorySink()
+    for event in memory.events:
+        if event.kind.startswith("chaos.fleet."):
+            fleet_trace.emit(event.kind, **event.fields)
+    print(render_report(metrics().filtered("chaos.fleet."), fleet_trace, []))
+    if args.strict and (
+        report.data_loss or report.mean_field_deviation > args.tv_tolerance
     ):
         return 1
     return 0
@@ -722,9 +817,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--prefix", default="dev", help="device name prefix")
     p_chaos.add_argument("--copies", type=int, default=3, help="replication k")
-    p_chaos.add_argument("--strategy", default="redundant-share")
     p_chaos.add_argument(
-        "--blocks", type=int, default=120, help="blocks written before faults"
+        "--strategy", default=None,
+        help="placement strategy (default: redundant-share; striping "
+        "with --fleet)",
+    )
+    p_chaos.add_argument(
+        "--blocks", type=int, default=None,
+        help="block population (default: 120; 1000000 with --fleet)",
     )
     p_chaos.add_argument(
         "--seed", type=int, default=None,
@@ -775,7 +875,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--strict", action="store_true",
-        help="exit non-zero on data loss or fairness rejection",
+        help="exit non-zero on data loss or fairness rejection (with "
+        "--fleet: data loss or a mean-field fit beyond --tv-tolerance)",
+    )
+    fleet = p_chaos.add_argument_group(
+        "fleet mode",
+        "columnar fleet-scale simulator (--fleet): thousands of devices "
+        "x millions of blocks over simulated years, validated against "
+        "the mean-field replication model",
+    )
+    fleet.add_argument(
+        "--fleet", action="store_true",
+        help="run the columnar fleet simulator instead of the "
+        "event-driven controller",
+    )
+    fleet.add_argument(
+        "--devices", type=int, default=1000, help="fleet size (uniform)"
+    )
+    fleet.add_argument(
+        "--years", type=float, default=10.0, help="simulated horizon"
+    )
+    fleet.add_argument(
+        "--epochs-per-year", type=int, default=365,
+        help="epoch resolution (dt = 1/epochs-per-year years)",
+    )
+    fleet.add_argument(
+        "--failure-rate", type=float, default=0.08,
+        help="device failures per device-year",
+    )
+    fleet.add_argument(
+        "--repair-rate", type=float, default=5000.0,
+        help="fleet-wide share rebuilds per epoch",
+    )
+    fleet.add_argument(
+        "--device-capacity", type=int, default=100,
+        help="uniform per-device capacity (relative units)",
+    )
+    fleet.add_argument(
+        "--sample-every", type=int, default=0,
+        help="epochs between samples (0 = auto, ~120 samples)",
+    )
+    fleet.add_argument(
+        "--phase", default="",
+        help="comma-separated repair rates for a durability-vs-repair "
+        "phase diagram",
+    )
+    fleet.add_argument(
+        "--tv-tolerance", type=float, default=0.05,
+        help="--strict gate on the steady-state vs mean-field "
+        "total-variation distance",
     )
     p_chaos.set_defaults(func=cmd_chaos)
 

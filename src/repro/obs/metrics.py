@@ -200,6 +200,24 @@ class MetricsRegistry:
         """All histogram objects by name (live references)."""
         return dict(sorted(self._histograms.items()))
 
+    def filtered(self, prefix: str) -> "MetricsRegistry":
+        """A view holding only metrics whose name starts with ``prefix``.
+
+        The view shares the live counter/histogram instances — it is a
+        scoped window for rendering, not a copy.  Used to keep reports
+        to one subsystem's namespace (accelerator-internal metrics such
+        as the placement precompute cache only exist on the NumPy leg,
+        so a leg-stable report must exclude them).
+        """
+        view = MetricsRegistry()
+        for name, counter in self._counters.items():
+            if name.startswith(prefix):
+                view._counters[name] = counter
+        for name, histogram in self._histograms.items():
+            if name.startswith(prefix):
+                view._histograms[name] = histogram
+        return view
+
     def snapshot(self) -> Dict[str, object]:
         """Full registry state as plain data (report/test input)."""
         return {

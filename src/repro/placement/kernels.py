@@ -68,6 +68,8 @@ from ..hashing.primitives import (
     as_u64_array,
     splitmix64,
     splitmix64_array,
+    unit_from_base,
+    units_from_base,
 )
 
 #: Relative score margin below which a vectorized race defers to the
@@ -307,3 +309,47 @@ def record_tie_recomputes(kernel: str, count: int) -> None:
         obs.metrics().counter(
             f"placement.kernel.{kernel}.tie_recomputes"
         ).add(count)
+
+
+def bernoulli_indices(base: int, count: int, probability: float):
+    """Indices in ``[0, count)`` whose derived uniform draw beats ``probability``.
+
+    The draw for index ``i`` is ``unit_from_base(base, i)`` on both legs
+    (the uint64 -> float64 rounding is identical, see
+    :func:`repro.hashing.primitives.units_from_base`), so the selected
+    index set is bit-for-bit the same with and without NumPy.  The fleet
+    chaos engine uses one call per epoch — ``base`` derived from
+    ``(seed, epoch)`` — to draw which devices fail that epoch.
+
+    Returns ascending indices: an ``int64`` array with NumPy, a list of
+    ints without.
+    """
+    np = get_numpy()
+    if np is None:
+        return [
+            index
+            for index in range(count)
+            if unit_from_base(base, index) < probability
+        ]
+    draws = units_from_base(base, np.arange(count, dtype=np.int64))
+    return np.flatnonzero(draws < probability).astype(np.int64)
+
+
+def class_histogram(values, classes: int):
+    """Occurrence counts of each class ``0 .. classes - 1``.
+
+    ``values`` must already lie in range.  Returns a plain list of ints
+    on both legs (``np.bincount`` with ``minlength`` on the NumPy leg),
+    so callers can compare histograms across legs with ``==``.
+    """
+    np = get_numpy()
+    if np is None:
+        counts = [0] * classes
+        for value in values:
+            counts[value] += 1
+        return counts
+    return (
+        np.bincount(np.asarray(values, dtype=np.int64), minlength=classes)
+        .astype(int)
+        .tolist()
+    )

@@ -232,3 +232,89 @@ class TestDataLossAccounting:
         survivors = set(cluster.addresses()) - both
         repaired = {address for address, _ in report.repair_order}
         assert repaired.issubset(survivors)
+
+
+class TestSamplingAndThroughputEdges:
+    """Satellite fixes: final sample on short runs, zero-division guards,
+    options validation."""
+
+    def test_short_run_still_emits_final_sample(self):
+        from repro import obs
+
+        cluster = make_cluster(copies=3, blocks=12)
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.2, kind=FaultKind.CRASH, device_id="dev-0")]
+        )
+        sink = obs.MemorySink()
+        with obs.use_sink(sink):
+            report = run_chaos(
+                cluster,
+                schedule,
+                # Interval far beyond the run: only _finish can sample.
+                ChaosOptions(seed=1, sample_interval=1000.0),
+            )
+        assert report.samples, "short run produced no samples at all"
+        assert report.samples[-1][0] == pytest.approx(report.horizon)
+        sample_events = [e for e in sink.events if e.kind == "chaos.sample"]
+        assert sample_events, "no chaos.sample trace event for a short run"
+
+    def test_final_sample_matches_horizon_without_sink(self):
+        cluster = make_cluster(copies=3, blocks=12)
+        report = run_chaos(
+            cluster, mixed_schedule(cluster), ChaosOptions(seed=3)
+        )
+        assert report.samples[-1][0] == pytest.approx(report.horizon)
+
+    def test_repair_throughput_guard_on_zero_horizon(self):
+        from repro.chaos import ChaosReport
+
+        assert ChaosReport().repair_throughput == 0.0
+
+    def test_zero_elapsed_repair_yields_no_durability_fit(self):
+        # An empty cluster crashing with replacement_delay=0: the crash
+        # is observed but every "repair" takes zero elapsed time, so
+        # there is no repair rate to fit — durability must be None, not
+        # a crash.
+        cluster = Cluster(
+            bins_from_capacities([60] * 6, prefix="dev"),
+            lambda bins: RedundantShare(bins, copies=3),
+        )
+        for address in range(8):
+            cluster.write(address, b"x")
+        schedule = FaultSchedule(
+            [FaultEvent(time=1.0, kind=FaultKind.CRASH, device_id="dev-0")]
+        )
+        report = run_chaos(
+            cluster,
+            schedule,
+            ChaosOptions(
+                seed=0,
+                replacement_delay=0.0,
+                policy=RepairPolicy(rate=1e9, timeout=1000.0),
+            ),
+        )
+        assert report.faults.get("crash") == 1
+        if report.durability is not None:
+            assert report.durability.mttr > 0
+
+    def test_options_reject_non_positive_sample_interval(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ChaosOptions(sample_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosOptions(sample_interval=-1.0)
+
+    def test_options_reject_negative_replacement_delay(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ChaosOptions(replacement_delay=-0.5)
+
+    def test_options_reject_bad_alpha(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ChaosOptions(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosOptions(alpha=1.0)

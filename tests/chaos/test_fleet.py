@@ -1,0 +1,439 @@
+"""Tests for the columnar fleet simulator.
+
+The load-bearing guarantee is leg equivalence: the NumPy leg and the
+pure-Python leg (``repro._compat.np`` monkeypatched to None) must produce
+bit-identical copy-count columns, loss lists and samples for any
+configuration.  On top of that we pin determinism, the zero-divergence
+cross-check against the event-driven controller, the mean-field fit and
+the repair priority order.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro._compat as compat
+from repro.analysis import total_variation
+from repro.chaos import (
+    ChaosOptions,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    FleetOptions,
+    FleetSimulator,
+    RepairPolicy,
+    crash_epochs,
+    durability_phase_diagram,
+    run_chaos,
+    run_fleet,
+)
+from repro.cluster import Cluster
+from repro.exceptions import ConfigurationError
+from repro.placement.registry import create
+from repro.types import bins_from_capacities
+
+
+def small_options(**overrides):
+    defaults = dict(
+        devices=8,
+        blocks=64,
+        copies=2,
+        epochs=12,
+        failure_rate=4.0,
+        epochs_per_year=12,
+        repair_rate=6.0,
+        seed=3,
+        device_capacity=32,
+    )
+    defaults.update(overrides)
+    return FleetOptions(**defaults)
+
+
+def report_fingerprint(report):
+    """Everything that must match between the two legs, as plain data."""
+    return (
+        report.counts_list(),
+        list(report.lost_addresses),
+        [
+            (s.epoch, s.year, s.damaged, s.lost, s.distribution)
+            for s in report.samples
+        ],
+        report.device_failures,
+        report.repairs_completed,
+        report.mean_repair_epochs,
+        report.final_distribution,
+        report.steady_state,
+        report.mean_field,
+        list(report.repair_order),
+    )
+
+
+def run_pure(options, crash_schedule=None):
+    saved = compat.np
+    compat.np = None
+    try:
+        return FleetSimulator(options).run(crash_schedule)
+    finally:
+        compat.np = saved
+
+
+class TestLegEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        devices=st.integers(min_value=3, max_value=12),
+        copies=st.integers(min_value=1, max_value=3),
+        epochs=st.integers(min_value=1, max_value=15),
+        failure_rate=st.floats(min_value=0.0, max_value=8.0),
+        repair_rate=st.floats(min_value=0.0, max_value=20.0),
+        strategy=st.sampled_from(["striping", "redundant-share"]),
+    )
+    def test_numpy_and_pure_legs_are_bit_identical(
+        self, seed, devices, copies, epochs, failure_rate, repair_rate, strategy
+    ):
+        if compat.np is None:
+            pytest.skip("NumPy unavailable; nothing to compare against")
+        copies = min(copies, devices)
+        options = FleetOptions(
+            devices=devices,
+            blocks=40,
+            copies=copies,
+            epochs=epochs,
+            epochs_per_year=12,
+            failure_rate=failure_rate,
+            repair_rate=repair_rate,
+            seed=seed,
+            strategy=strategy,
+            device_capacity=64,
+            record_repairs=True,
+        )
+        numpy_report = FleetSimulator(options).run()
+        pure_report = run_pure(options)
+        assert report_fingerprint(numpy_report) == report_fingerprint(
+            pure_report
+        )
+
+    def test_legs_match_under_scheduled_crashes(self):
+        if compat.np is None:
+            pytest.skip("NumPy unavailable; nothing to compare against")
+        options = small_options(failure_rate=0.0, record_repairs=True)
+        crashes = {2: [0, 1], 7: [4]}
+        numpy_report = FleetSimulator(options).run(crashes)
+        pure_report = run_pure(options, crashes)
+        assert report_fingerprint(numpy_report) == report_fingerprint(
+            pure_report
+        )
+        assert numpy_report.device_failures == 3
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        options = small_options(record_repairs=True)
+        first = run_fleet(options)
+        second = run_fleet(options)
+        assert report_fingerprint(first) == report_fingerprint(second)
+
+    def test_seed_changes_failure_draws(self):
+        base = small_options()
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        assert report_fingerprint(run_fleet(base)) != report_fingerprint(
+            run_fleet(reseeded)
+        )
+
+
+class TestControllerCrossCheck:
+    def test_zero_divergence_on_shared_schedule(self):
+        # Same bins, same strategy, same crash times: the fleet engine and
+        # the event-driven controller must agree exactly on which blocks
+        # were lost and how many devices failed.
+        devices, blocks, copies = 8, 120, 2
+        bins = bins_from_capacities([60] * devices, prefix="dev")
+        device_ids = [spec.bin_id for spec in bins]
+        strategy = create("striping", bins, copies=copies)
+        victim = 17
+        pair = strategy.place(victim)
+        single = next(d for d in device_ids if d not in pair)
+        schedule = FaultSchedule(
+            [FaultEvent(2.0, FaultKind.CRASH, device) for device in pair]
+            + [FaultEvent(10.0, FaultKind.CRASH, single)]
+        )
+
+        cluster = Cluster(bins, lambda b: create("striping", b, copies=copies))
+        for address in range(blocks):
+            cluster.write(address, b"x")
+        controller = run_chaos(
+            cluster,
+            schedule,
+            ChaosOptions(
+                seed=0,
+                policy=RepairPolicy(rate=float(blocks), timeout=1000.0),
+                replacement_delay=1.0,
+            ),
+        )
+
+        fleet = FleetSimulator(
+            small_options(
+                devices=devices,
+                blocks=blocks,
+                epochs=16,
+                failure_rate=0.0,
+                repair_rate=float(blocks),
+            ),
+            bins=bins,
+        ).run(crash_epochs(schedule, device_ids))
+
+        assert {loss.address for loss in controller.loss_events} == set(
+            fleet.lost_addresses
+        )
+        assert victim in set(fleet.lost_addresses)
+        assert controller.faults.get("crash", 0) == fleet.device_failures
+
+    def test_crash_epochs_rejects_non_crash_kinds(self):
+        schedule = FaultSchedule(
+            [FaultEvent(1.0, FaultKind.OUTAGE, "dev-0", duration=2.0)]
+        )
+        with pytest.raises(ConfigurationError):
+            crash_epochs(schedule, ["dev-0", "dev-1"])
+
+    def test_crash_epochs_rejects_unknown_devices(self):
+        schedule = FaultSchedule([FaultEvent(1.0, FaultKind.CRASH, "ghost")])
+        with pytest.raises(ConfigurationError):
+            crash_epochs(schedule, ["dev-0", "dev-1"])
+
+    def test_crash_epochs_rounds_time_to_epoch(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(0.2, FaultKind.CRASH, "dev-0"),
+                FaultEvent(3.6, FaultKind.CRASH, "dev-1"),
+            ]
+        )
+        assert crash_epochs(schedule, ["dev-0", "dev-1"]) == {1: [0], 4: [1]}
+
+
+class TestMeanField:
+    def test_no_failures_keeps_full_redundancy(self):
+        report = run_fleet(small_options(failure_rate=0.0))
+        assert report.final_distribution[-1] == pytest.approx(1.0)
+        assert report.mean_field[-1] == pytest.approx(1.0)
+        assert report.mean_field_deviation == pytest.approx(0.0)
+        assert not report.data_loss
+
+    def test_steady_state_tracks_mean_field_at_scale(self):
+        # Block coupling decays as 1/devices, so a moderately sized fleet
+        # already sits close to the ODE prediction.
+        report = run_fleet(
+            FleetOptions(
+                devices=200,
+                blocks=4000,
+                copies=3,
+                epochs=120,
+                epochs_per_year=12,
+                failure_rate=1.2,
+                repair_rate=60.0,
+                seed=1,
+                device_capacity=80,
+            )
+        )
+        assert report.mean_field_deviation < 0.08
+
+    def test_distributions_sum_to_one(self):
+        report = run_fleet(small_options())
+        for sample in report.samples:
+            assert sum(sample.distribution) == pytest.approx(1.0)
+        assert sum(report.steady_state) == pytest.approx(1.0)
+        assert sum(report.mean_field) == pytest.approx(1.0)
+
+
+class TestRepairPriority:
+    def test_lowest_redundancy_repaired_first(self):
+        # Crash two of a victim's devices and one other device in the
+        # same epoch: blocks left with fewer survivors must be rebuilt
+        # before healthier ones within every epoch.
+        options = small_options(
+            devices=6,
+            blocks=48,
+            copies=3,
+            epochs=10,
+            failure_rate=0.0,
+            repair_rate=4.0,
+            record_repairs=True,
+        )
+        simulator = FleetSimulator(options)
+        strategy = create(
+            "striping",
+            bins_from_capacities([32] * 6, prefix="dev"),
+            copies=3,
+        )
+        placement = strategy.place(0)
+        crashed = sorted(
+            int(device.split("-")[1]) for device in list(placement)[:2]
+        )
+        extra = next(i for i in range(6) if i not in crashed)
+        report = simulator.run({1: sorted(crashed + [extra])})
+        assert report.repair_order, "scenario repaired nothing"
+        by_epoch = {}
+        for epoch, block in report.repair_order:
+            by_epoch.setdefault(epoch, []).append(block)
+        single_survivor = {
+            block
+            for block in range(options.blocks)
+            if len(
+                set(strategy.place(block))
+                & {f"dev-{d}" for d in crashed + [extra]}
+            )
+            >= 2
+        }
+        first_epoch = min(by_epoch)
+        repaired_first = by_epoch[first_epoch][: len(single_survivor)]
+        assert single_survivor, "crash pattern produced no critical blocks"
+        assert set(repaired_first) <= single_survivor | set(
+            by_epoch[first_epoch]
+        )
+        # The stronger property: no healthier block is rebuilt before any
+        # critical block within the first sweep.
+        critical_positions = [
+            i
+            for i, block in enumerate(by_epoch[first_epoch])
+            if block in single_survivor
+        ]
+        if critical_positions:
+            boundary = max(critical_positions)
+            healthier_before = [
+                block
+                for block in by_epoch[first_epoch][:boundary]
+                if block not in single_survivor
+            ]
+            assert healthier_before == []
+
+    def test_repair_rate_zero_never_repairs(self):
+        report = run_fleet(small_options(repair_rate=0.0))
+        assert report.repairs_completed == 0
+
+    def test_fractional_budget_accumulates(self):
+        # rate=0.5 over 12 epochs must fund ~6 repairs if damage exists.
+        report = run_fleet(
+            small_options(failure_rate=6.0, repair_rate=0.5, epochs=12)
+        )
+        assert 0 < report.repairs_completed <= 6
+
+
+class TestReportShape:
+    def test_final_epoch_is_always_sampled(self):
+        report = run_fleet(small_options(sample_every=100, epochs=7))
+        assert report.samples[-1].epoch == 7
+
+    def test_counts_match_final_distribution(self):
+        report = run_fleet(small_options())
+        counts = report.counts_list()
+        histogram = [0] * (report.copies + 1)
+        for count in counts:
+            histogram[count] += 1
+        observed = tuple(value / len(counts) for value in histogram)
+        assert observed == pytest.approx(report.final_distribution)
+
+    def test_summary_mentions_mean_field_fit(self):
+        report = run_fleet(small_options())
+        assert "mean-field fit" in report.summary()
+        assert "TV=" in report.summary()
+
+    def test_durability_fit_requires_failures_and_repairs(self):
+        calm = run_fleet(small_options(failure_rate=0.0))
+        assert calm.durability is None
+        stormy = run_fleet(small_options(failure_rate=6.0, repair_rate=50.0))
+        if stormy.device_failures and stormy.repairs_completed:
+            assert stormy.durability is not None
+            assert stormy.durability.mttf > 0
+
+
+class TestOptionsValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"devices": 0},
+            {"blocks": 0},
+            {"copies": 0},
+            {"copies": 9, "devices": 8},
+            {"epochs_per_year": 0},
+            {"epochs": 0},
+            {"failure_rate": -1.0},
+            {"repair_rate": -1.0},
+            {"device_capacity": 0},
+            {"sample_every": -1},
+        ],
+    )
+    def test_rejects_bad_options(self, overrides):
+        with pytest.raises(ConfigurationError):
+            small_options(**overrides)
+
+    def test_rejects_non_positive_years(self):
+        with pytest.raises(ConfigurationError):
+            FleetOptions(devices=4, blocks=8, copies=2, years=0.0)
+
+    def test_bins_must_match_devices(self):
+        bins = bins_from_capacities([10] * 3, prefix="dev")
+        with pytest.raises(ConfigurationError):
+            FleetSimulator(small_options(devices=8), bins=bins)
+
+    def test_scheduled_crash_out_of_range(self):
+        simulator = FleetSimulator(small_options(devices=4))
+        with pytest.raises(ConfigurationError):
+            simulator.run({1: [4]})
+
+
+class TestPhaseDiagram:
+    def test_loss_fraction_decreases_with_repair_rate(self):
+        options = small_options(
+            devices=16,
+            blocks=200,
+            copies=2,
+            epochs=40,
+            failure_rate=5.0,
+            device_capacity=40,
+        )
+        points = durability_phase_diagram(options, [0.0, 2.0, 40.0])
+        assert [point.repair_rate for point in points] == [0.0, 2.0, 40.0]
+        assert points[0].lost_fraction >= points[-1].lost_fraction
+        assert points[-1].mean_copies >= points[0].mean_copies
+        for point in points:
+            assert 0.0 <= point.lost_fraction <= 1.0
+            assert len(point.steady_state) == options.copies + 1
+
+    def test_phase_points_reuse_options(self):
+        options = small_options()
+        (point,) = durability_phase_diagram(options, [options.repair_rate])
+        direct = run_fleet(options)
+        assert point.steady_state == direct.steady_state
+        assert point.mean_field_deviation == pytest.approx(
+            direct.mean_field_deviation
+        )
+
+
+class TestObservability:
+    def test_fleet_metrics_and_events_emitted(self):
+        from repro import obs
+
+        obs.reset_metrics()
+        sink = obs.MemorySink()
+        with obs.use_sink(sink):
+            run_fleet(small_options(failure_rate=6.0))
+        names = {event.kind for event in sink.events}
+        assert "chaos.fleet.finished" in names
+        assert "chaos.fleet.sample" in names
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters.get("chaos.fleet.epochs") == 12
+        assert "chaos.fleet.device_failures" in counters
+        obs.reset_metrics()
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        assert total_variation((0.5, 0.5), (0.5, 0.5)) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation((1.0, 0.0), (0.0, 1.0)) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation((1.0,), (0.5, 0.5))

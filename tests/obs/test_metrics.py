@@ -105,3 +105,16 @@ class TestRegistry:
         registry.counter("z").add(1)
         registry.counter("a").add(1)
         assert list(registry.counters()) == ["a", "z"]
+
+    def test_filtered_view_scopes_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("chaos.fleet.epochs").add(5)
+        registry.counter("placement.batches").add(2)
+        registry.histogram("chaos.fleet.damaged").observe(3)
+        registry.histogram("placement.batch_size").observe(100)
+        view = registry.filtered("chaos.fleet.")
+        assert list(view.counters()) == ["chaos.fleet.epochs"]
+        assert list(view.histograms()) == ["chaos.fleet.damaged"]
+        # Live references, not copies: later increments show through.
+        registry.counter("chaos.fleet.epochs").add(1)
+        assert view.counters()["chaos.fleet.epochs"] == 6

@@ -76,10 +76,16 @@ class TestBatchEquivalence:
         def run_leg():
             precompute.clear_shared_cache()
             strategy = WeightedStripingStrategy(bins, copies=copies)
-            return [
-                tuple(row)
-                for row in strategy.place_many(addresses).tuples()
-            ]
+            # Extreme skew can starve small disks out of the pattern so
+            # placement legitimately raises (see the degenerate-pattern
+            # tests below); the legs must agree on that outcome too.
+            try:
+                return [
+                    tuple(row)
+                    for row in strategy.place_many(addresses).tuples()
+                ]
+            except ConfigurationError:
+                return "pattern lacks k distinct disks"
 
         numpy_rows = run_leg()
         saved = compat.np

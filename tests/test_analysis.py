@@ -142,3 +142,120 @@ class TestConcentration:
         for bin_id, share in expected.items():
             deviation = abs(counts[bin_id] / (2 * balls) - share)
             assert deviation <= tolerances[bin_id], bin_id
+
+
+class TestObservedModel:
+    """Edge cases for fitting a durability model to a chaos run."""
+
+    def test_rejects_zero_failures(self):
+        from repro.analysis import observed_model
+
+        with pytest.raises(ValueError):
+            observed_model(10, 1, 0, 5.0, 0.5)
+
+    def test_rejects_non_positive_horizon(self):
+        from repro.analysis import observed_model
+
+        with pytest.raises(ValueError):
+            observed_model(10, 1, 3, 0.0, 0.5)
+
+    def test_rejects_non_positive_repair_time(self):
+        from repro.analysis import observed_model
+
+        with pytest.raises(ValueError):
+            observed_model(10, 1, 3, 5.0, 0.0)
+        with pytest.raises(ValueError):
+            observed_model(10, 1, 3, 5.0, -1.0)
+
+    def test_single_failure_fit(self):
+        # One failure over the horizon: the per-device MTTF estimate is
+        # the full pooled observation time.
+        from repro.analysis import mttdl, observed_model
+
+        model = observed_model(10, 1, 1, 5.0, 0.5)
+        assert model.mttf == pytest.approx(50.0)
+        assert model.mttr == pytest.approx(0.5)
+        assert mttdl(model) > model.mttf
+
+    def test_fit_scales_with_failures(self):
+        from repro.analysis import observed_model
+
+        few = observed_model(10, 1, 2, 5.0, 0.5)
+        many = observed_model(10, 1, 20, 5.0, 0.5)
+        assert few.mttf == pytest.approx(10 * many.mttf)
+
+
+class TestMeanField:
+    """Mean-field replication ODE: conservation, fixed points, repair."""
+
+    def test_step_conserves_mass(self):
+        from repro.analysis import mean_field_step
+
+        dist = (0.0, 0.1, 0.3, 0.6)
+        for repair in (0.0, 0.05, 1.0):
+            stepped = mean_field_step(dist, 0.01, repair)
+            assert sum(stepped) == pytest.approx(1.0)
+            assert all(x >= 0 for x in stepped)
+
+    def test_no_failure_no_repair_is_fixed_point(self):
+        from repro.analysis import mean_field_step
+
+        dist = (0.2, 0.3, 0.5)
+        assert mean_field_step(dist, 0.0, 0.0) == pytest.approx(dist)
+
+    def test_class_zero_is_absorbing(self):
+        from repro.analysis import mean_field_trajectory
+
+        final = mean_field_trajectory(2, 400, 0.05, 0.0)[-1]
+        assert final[0] > 0.9  # no repair: everything dies eventually
+
+    def test_repair_moves_mass_up(self):
+        from repro.analysis import mean_field_step
+
+        dist = (0.0, 0.5, 0.5)
+        repaired = mean_field_step(dist, 0.0, 0.3)
+        assert repaired[2] > dist[2]
+        assert repaired[1] < dist[1]
+
+    def test_priority_repairs_lowest_class_first(self):
+        # Budget smaller than class-1 mass: class 2 gets nothing.
+        from repro.analysis import mean_field_step
+
+        dist = (0.0, 0.4, 0.4, 0.2)
+        repaired = mean_field_step(dist, 0.0, 0.25)
+        assert repaired[2] == pytest.approx(0.4 + 0.25)
+        assert repaired[1] == pytest.approx(0.4 - 0.25)
+
+    def test_distribution_averages_marks(self):
+        from repro.analysis import (
+            mean_field_distribution,
+            mean_field_trajectory,
+        )
+
+        marks = [5, 10]
+        averaged = mean_field_distribution(
+            3, 0.02, 0.5, sample_epochs=marks
+        )
+        per_mark = [
+            mean_field_trajectory(3, mark, 0.02, 0.5)[mark] for mark in marks
+        ]
+        for cls in range(4):
+            expected = sum(traj[cls] for traj in per_mark) / len(per_mark)
+            assert averaged[cls] == pytest.approx(expected)
+
+    def test_validation_rejects_bad_inputs(self):
+        from repro.analysis import mean_field_step
+
+        with pytest.raises(ValueError):
+            mean_field_step((1.0,), 1.5, 0.0)
+        with pytest.raises(ValueError):
+            mean_field_step((1.0,), -0.1, 0.0)
+        with pytest.raises(ValueError):
+            mean_field_step((1.0,), 0.1, -0.5)
+
+    def test_total_variation_bounds(self):
+        from repro.analysis import total_variation
+
+        assert total_variation((0.25, 0.75), (0.75, 0.25)) == pytest.approx(
+            0.5
+        )

@@ -333,3 +333,59 @@ class TestClientCli:
 async def _where(cluster, address):
     """Placement of one address straight from the metastore's strategy."""
     return list(cluster.metastore.strategy.place(address))
+
+
+class TestChaosFleetCli:
+    FAST = [
+        "chaos", "--fleet", "--devices", "8", "--blocks", "200",
+        "--copies", "2", "--years", "1", "--epochs-per-year", "12",
+        "--failure-rate", "2.0", "--repair-rate", "20.0", "--seed", "3",
+    ]
+
+    def test_fleet_smoke(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "mean-field fit" in out
+        assert "copy-count timeline" in out
+        assert "chaos.fleet.epochs" in out
+
+    def test_fleet_phase_diagram(self, capsys):
+        assert main(self.FAST + ["--phase", "0,5,50"]) == 0
+        out = capsys.readouterr().out
+        assert "durability vs repair rate" in out
+        assert "lost_frac" in out
+
+    def test_fleet_phase_rejects_bad_rates(self):
+        with pytest.raises(SystemExit):
+            main(self.FAST + ["--phase", "fast,slow"])
+
+    def test_fleet_rejects_bad_options(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--fleet", "--devices", "0"])
+
+    def test_fleet_jsonl_export(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "fleet.jsonl")
+        assert main(self.FAST + ["--jsonl", path]) == 0
+        kinds = {record["kind"] for record in read_jsonl(path)}
+        assert "chaos.fleet.sample" in kinds
+        assert "chaos.fleet.finished" in kinds
+
+    def test_fleet_strict_fails_on_data_loss(self, capsys):
+        # k=2, brutal failure rate, no repair: loss is certain.
+        assert main(
+            ["chaos", "--fleet", "--devices", "6", "--blocks", "60",
+             "--copies", "2", "--years", "1", "--epochs-per-year", "12",
+             "--failure-rate", "12.0", "--repair-rate", "0", "--seed", "1",
+             "--strict", "--tv-tolerance", "1.0"]
+        ) == 1
+        assert "blocks lost" in capsys.readouterr().out
+
+    def test_fleet_strict_passes_when_calm(self, capsys):
+        assert main(
+            ["chaos", "--fleet", "--devices", "8", "--blocks", "200",
+             "--copies", "3", "--years", "1", "--epochs-per-year", "12",
+             "--failure-rate", "0.0", "--repair-rate", "20.0",
+             "--strict"]
+        ) == 0
