@@ -95,6 +95,8 @@ class FleetOptions:
         repair_rate: Fleet-wide share rebuilds per epoch.
         seed: Seeds the per-epoch failure draws.
         strategy: Registry name used for the initial ``place_many``.
+        strategy_options: Per-strategy options validated against the
+            registry entry's schema (e.g. striping's ``resolution``).
         device_capacity: Uniform per-device capacity handed to the
             strategy (relative units; only ratios matter).
         sample_every: Epochs between samples (0 = auto, ~120 samples).
@@ -112,6 +114,7 @@ class FleetOptions:
     repair_rate: float = 5000.0
     seed: int = 0
     strategy: str = "striping"
+    strategy_options: Mapping[str, object] = field(default_factory=dict)
     device_capacity: int = 100
     sample_every: int = 0
     record_repairs: bool = False
@@ -321,7 +324,10 @@ class FleetSimulator:
             )
         self._bins = list(bins)
         self._strategy = strategy or create(
-            self._options.strategy, self._bins, copies=self._options.copies
+            self._options.strategy,
+            self._bins,
+            copies=self._options.copies,
+            **dict(self._options.strategy_options),
         )
 
     @property

@@ -18,8 +18,11 @@ from typing import List, Sequence
 
 from .capacity import clip_capacities, is_capacity_efficient, max_balls
 from .core import RedundantShare
+from .exceptions import ConfigurationError
+from .options import parse_option_text
 from .placement import (
     create,
+    lookup,
     strategy_names,
     trivial_wasted_fraction,
 )
@@ -37,15 +40,30 @@ def _parse_capacities(raw: str) -> List[int]:
     return capacities
 
 
-def _strategy_for(name: str, bins, copies: int):
-    """Resolve a strategy name through the canonical registry factory."""
+def _strategy_options(name: str, option_pairs: Sequence[str]):
+    """Resolve ``--strategy-opt key=value`` pairs to typed options.
+
+    Returns ``(canonical_name, options_dict)``; unknown strategies,
+    unknown option keys and malformed values exit with the registry's
+    ``ConfigurationError`` message.
+    """
     try:
-        return create(name, bins, copies=copies)
-    except KeyError:
-        raise SystemExit(
-            f"unknown strategy {name!r}; choose from "
-            f"{sorted(strategy_names(include_aliases=True))}"
+        entry = lookup(name)
+        options = parse_option_text(
+            entry.options, option_pairs or (), f"strategy {entry.name!r}"
         )
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    return entry.name, options
+
+
+def _strategy_for(name: str, bins, copies: int, option_pairs=()):
+    """Resolve a strategy name through the canonical registry factory."""
+    canonical, options = _strategy_options(name, option_pairs)
+    try:
+        return create(canonical, bins, copies=copies, **options)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
 
 
 def cmd_capacity(args: argparse.Namespace) -> int:
@@ -70,7 +88,9 @@ def cmd_place(args: argparse.Namespace) -> int:
     """Show the placement of one or more addresses."""
     capacities = _parse_capacities(args.capacities)
     bins = bins_from_capacities(capacities, prefix=args.prefix)
-    strategy = _strategy_for(args.strategy, bins, args.copies)
+    strategy = _strategy_for(
+        args.strategy, bins, args.copies, args.strategy_opt
+    )
     for address in range(args.address, args.address + args.count):
         print(f"{address}: {' '.join(strategy.place(address))}")
     return 0
@@ -80,7 +100,9 @@ def cmd_fairness(args: argparse.Namespace) -> int:
     """Empirical shares vs fair targets for one configuration."""
     capacities = _parse_capacities(args.capacities)
     bins = bins_from_capacities(capacities, prefix=args.prefix)
-    strategy = _strategy_for(args.strategy, bins, args.copies)
+    strategy = _strategy_for(
+        args.strategy, bins, args.copies, args.strategy_opt
+    )
     counts = Counter()
     for address in range(args.balls):
         counts.update(strategy.place(address))
@@ -108,7 +130,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         for spec in bins
     }
     print(f"{'strategy':<18}{'max deviation from fair share':>32}")
-    for name in ("redundant-share", "fast", "trivial", "crush", "striping"):
+    # Canonical names only: an aliased entry must not be swept twice.
+    for name in strategy_names():
         strategy = _strategy_for(name, bins, args.copies)
         counts = Counter()
         for address in range(args.balls):
@@ -191,7 +214,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     capacities = _parse_capacities(args.capacities)
     bins = bins_from_capacities(capacities, prefix=args.prefix)
-    strategy = _strategy_for(args.strategy, bins, args.copies)
+    strategy = _strategy_for(
+        args.strategy, bins, args.copies, args.strategy_opt
+    )
 
     reset_metrics()
     memory = MemorySink()
@@ -221,7 +246,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
                     [capacity * scale for capacity in capacities],
                     prefix=args.prefix,
                 ),
-                lambda b: _strategy_for(args.strategy, b, args.copies),
+                lambda b: _strategy_for(
+                    args.strategy, b, args.copies, args.strategy_opt
+                ),
             )
             for address in range(args.blocks):
                 cluster.write(address, b"x" * 16)
@@ -282,7 +309,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         [capacity * scale for capacity in capacities], prefix=args.prefix
     )
     cluster = Cluster(
-        bins, lambda b: _strategy_for(strategy, b, args.copies)
+        bins,
+        lambda b: _strategy_for(strategy, b, args.copies, args.strategy_opt),
     )
     for address in range(blocks):
         cluster.write(address, b"x" * 16)
@@ -384,6 +412,9 @@ def _cmd_chaos_fleet(args: argparse.Namespace, seed: int) -> int:
     from .obs import JsonlSink, MemorySink, TeeSink, metrics, reset_metrics, use_sink
     from .obs.report import render_report
 
+    fleet_strategy, strategy_options = _strategy_options(
+        args.strategy or "striping", args.strategy_opt
+    )
     try:
         options = FleetOptions(
             devices=args.devices,
@@ -394,7 +425,8 @@ def _cmd_chaos_fleet(args: argparse.Namespace, seed: int) -> int:
             failure_rate=args.failure_rate,
             repair_rate=args.repair_rate,
             seed=seed,
-            strategy=args.strategy or "striping",
+            strategy=fleet_strategy,
+            strategy_options=strategy_options,
             device_capacity=args.device_capacity,
             sample_every=args.sample_every,
         )
@@ -482,7 +514,9 @@ def cmd_sched(args: argparse.Namespace) -> int:
 
     capacities = _parse_capacities(args.capacities)
     bins = bins_from_capacities(capacities, prefix=args.prefix)
-    strategy = _strategy_for(args.strategy, bins, args.copies)
+    strategy = _strategy_for(
+        args.strategy, bins, args.copies, args.strategy_opt
+    )
     if args.requests < 1:
         raise SystemExit(f"--requests must be >= 1, got {args.requests}")
     if args.workload == "zipf":
@@ -565,7 +599,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .exceptions import ConfigurationError
     from .service import ServiceCluster
 
     capacities = _parse_capacities(args.capacities)
@@ -577,15 +610,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"above it, got {args.port}"
         )
     bins = bins_from_capacities(capacities, prefix=args.prefix)
-    # Build the strategy eagerly so bad names / infeasible (bins, copies)
-    # combinations fail with a CLI error instead of a half-started service.
+    # Build the strategy eagerly so bad names, bad options and infeasible
+    # (bins, copies) combinations fail with a CLI error instead of a
+    # half-started service.
+    strategy_name, strategy_options = _strategy_options(
+        args.strategy, args.strategy_opt
+    )
     try:
-        create(args.strategy, bins, copies=args.copies)
-    except KeyError:
-        raise SystemExit(
-            f"unknown strategy {args.strategy!r}; choose from "
-            f"{sorted(strategy_names(include_aliases=True))}"
-        )
+        create(strategy_name, bins, copies=args.copies, **strategy_options)
     except ConfigurationError as error:
         raise SystemExit(f"cannot serve this configuration: {error}")
 
@@ -594,8 +626,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         cluster = ServiceCluster(
             bins,
-            strategy=args.strategy,
+            strategy=strategy_name,
             copies=args.copies,
+            strategy_options=strategy_options,
             host=args.host,
             port=args.port,
         )
@@ -745,6 +778,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--prefix", default="bin", help="bin name prefix")
         p.add_argument("--copies", type=int, default=2, help="replication k")
 
+    def strategy_opt(p):
+        p.add_argument(
+            "--strategy-opt",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="per-strategy option from the registry schema "
+            "(repeatable), e.g. --strategy-opt service_rates=4,2,1 or "
+            "--strategy-opt resolution=128",
+        )
+
     p_cap = sub.add_parser("capacity", help="Lemma 2.1/2.2 capacity report")
     common(p_cap)
     p_cap.set_defaults(func=cmd_capacity)
@@ -752,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_place = sub.add_parser("place", help="show placements")
     common(p_place)
     p_place.add_argument("--strategy", default="redundant-share")
+    strategy_opt(p_place)
     p_place.add_argument("--address", type=int, default=0)
     p_place.add_argument("--count", type=int, default=10)
     p_place.set_defaults(func=cmd_place)
@@ -759,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fair = sub.add_parser("fairness", help="empirical fairness")
     common(p_fair)
     p_fair.add_argument("--strategy", default="redundant-share")
+    strategy_opt(p_fair)
     p_fair.add_argument("--balls", type=int, default=50_000)
     p_fair.set_defaults(func=cmd_fairness)
 
@@ -784,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_stats)
     p_stats.add_argument("--strategy", default="redundant-share")
+    strategy_opt(p_stats)
     p_stats.add_argument("--balls", type=int, default=20_000)
     p_stats.add_argument(
         "--alpha", type=float, default=0.01,
@@ -822,6 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="placement strategy (default: redundant-share; striping "
         "with --fleet)",
     )
+    strategy_opt(p_chaos)
     p_chaos.add_argument(
         "--blocks", type=int, default=None,
         help="block population (default: 120; 1000000 with --fleet)",
@@ -938,6 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--prefix", default="store", help="device name prefix")
     p_serve.add_argument("--copies", type=int, default=3, help="replication k")
     p_serve.add_argument("--strategy", default="redundant-share")
+    strategy_opt(p_serve)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=0,
@@ -980,6 +1029,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_sched)
     p_sched.add_argument("--strategy", default="redundant-share")
+    strategy_opt(p_sched)
     p_sched.add_argument(
         "--policy", default="all",
         help="comma-separated scheduler names (aliases ok), or 'all'",

@@ -7,6 +7,8 @@
   precomputed variant, O(k) lookups.
 * :class:`~repro.core.classic.ClassicLinMirror` — the verbatim Algorithm 2
   with a pluggable ``placeonecopy`` and the b̃ boundary boost (eqs. 2–5).
+* :class:`~repro.core.sequential_checking.SequentialChecking` — the
+  reallocation-free contender (zero movement on scale-out).
 * :mod:`repro.core.preprocess` — the hazard-table solver.
 """
 
@@ -17,6 +19,7 @@ from .hierarchical import HierarchicalRedundantShare
 from .objectstore import ObjectExtent, ObjectNotFoundError, ObjectStore
 from .preprocess import HazardTable, compute_hazards
 from .redundant_share import LinMirror, RedundantShare
+from .sequential_checking import SequentialChecking
 from .virtualizer import VirtualVolume
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "ObjectNotFoundError",
     "ObjectStore",
     "RedundantShare",
+    "SequentialChecking",
     "VirtualVolume",
     "boundary_boost",
     "compute_hazards",

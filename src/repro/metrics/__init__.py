@@ -2,6 +2,7 @@
 
 from .adaptivity import (
     MovementReport,
+    compare_scale_out,
     compare_strategies,
     movement_series,
     optimal_moved_copies,
@@ -41,6 +42,7 @@ __all__ = [
     "chi_square_quantile",
     "chi_square_sf",
     "chi_square_statistic",
+    "compare_scale_out",
     "compare_strategies",
     "count_copies",
     "count_violations",

@@ -19,7 +19,7 @@ mirroring).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .._compat import get_numpy
 from ..placement.base import BatchPlacement, ReplicationStrategy
@@ -148,6 +148,55 @@ def _count_moves_np(np, old_batch: BatchPlacement, new_batch: BatchPlacement):
             absent &= old != new
         moved_set += int(absent.sum())
     return moved_positional, moved_set
+
+
+def compare_scale_out(
+    name: str,
+    before_bins: Sequence,
+    after_bins: Sequence,
+    addresses: Iterable[int],
+    *,
+    copies: int = 2,
+    before_options: Optional[Dict] = None,
+    after_options: Optional[Dict] = None,
+    **options,
+) -> MovementReport:
+    """Movement a registered strategy incurs growing one fleet into another.
+
+    Builds the before/after snapshots through the placement registry's
+    canonical :func:`~repro.placement.registry.create` — same name, same
+    ``copies``, same per-strategy ``options`` on both sides — so option-
+    carrying strategies are compared exactly as a deployment would
+    reconfigure them.  Options whose value depends on the fleet size
+    (positional ``service_rates``, ``generations``) can be overridden
+    per side via ``before_options`` / ``after_options``, which are
+    merged over ``options``.  The affected bins are inferred as the ids
+    present only in ``after_bins``.
+
+    This is the primitive behind the trade-off bench's movement column
+    and its zero-movement gate.
+    """
+    from ..placement.registry import create
+
+    before_ids = {spec.bin_id for spec in before_bins}
+    added = [
+        spec.bin_id
+        for spec in after_bins
+        if spec.bin_id not in before_ids
+    ]
+    before = create(
+        name,
+        before_bins,
+        copies=copies,
+        **{**options, **(before_options or {})},
+    )
+    after = create(
+        name,
+        after_bins,
+        copies=copies,
+        **{**options, **(after_options or {})},
+    )
+    return compare_strategies(before, after, addresses, added)
 
 
 def optimal_moved_copies(report: MovementReport) -> int:

@@ -1,0 +1,268 @@
+"""Typed option schemas shared by the name-keyed registries.
+
+Both registries — :mod:`repro.placement.registry` and
+:mod:`repro.scheduling.registry` — build instances from a *name* plus a
+uniform positional shape (``(bins, copies)`` / ``(device_ids, seed)``).
+Strategies whose constructors need anything beyond that shape (RPDP's
+per-device service rates, Sequential Checking's device generations,
+weighted striping's pattern resolution) declare it here as a typed
+:class:`OptionSpec`, so every consumer — the CLI's ``--strategy-opt``,
+the service configs, the benches — validates and defaults extra
+parameters identically instead of each growing a private construction
+path.
+
+The contract:
+
+* unknown option keys raise :class:`~repro.exceptions.ConfigurationError`
+  listing the declared options (or stating that none are declared);
+* values of the wrong type raise ``ConfigurationError`` naming the
+  expected kind;
+* omitted options take their declared defaults;
+* :func:`parse_option_text` turns the CLI's ``key=value`` strings into
+  typed values using the same schema, so ``--strategy-opt`` needs no
+  per-strategy parsing code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import ConfigurationError
+
+#: Accepted ``kind`` values and the phrase used in error messages.
+_KIND_PHRASES = {
+    "int": "an integer",
+    "float": "a number",
+    "bool": "a boolean",
+    "str": "a string",
+    "ints": "a sequence of integers",
+    "weights": "a sequence of positive numbers (or a bin-id mapping)",
+}
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """One declared per-strategy (or per-policy) option.
+
+    Attributes:
+        name: Keyword the option is passed as.
+        kind: Value shape — one of ``int``, ``float``, ``bool``, ``str``,
+            ``ints`` (tuple of ints) or ``weights`` (tuple of positive
+            floats, or a mapping from id to positive number).
+        default: Value used when the option is omitted.  Not validated —
+            ``None`` is the conventional "unset" marker.
+        doc: One-line description (surfaced by docs and CLI errors).
+        choices: For ``str`` kinds, the accepted values.
+        minimum: For numeric kinds, the inclusive lower bound (applied
+            element-wise to ``ints``).
+    """
+
+    name: str
+    kind: str
+    default: Any = None
+    doc: str = ""
+    choices: Optional[Tuple[str, ...]] = None
+    minimum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_PHRASES:
+            raise ValueError(f"unknown option kind {self.kind!r}")
+
+    def validate(self, value: Any, owner: str) -> Any:
+        """Return the normalized value, or raise ``ConfigurationError``."""
+        label = f"option {self.name!r} of {owner}"
+        kind = self.kind
+        if kind == "bool":
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{label} must be {_KIND_PHRASES[kind]}, "
+                    f"got {value!r}"
+                )
+            return value
+        if kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"{label} must be {_KIND_PHRASES[kind]}, got {value!r}"
+                )
+            self._check_minimum(value, label)
+            return value
+        if kind == "float":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"{label} must be {_KIND_PHRASES[kind]}, got {value!r}"
+                )
+            self._check_minimum(value, label)
+            return float(value)
+        if kind == "str":
+            if not isinstance(value, str):
+                raise ConfigurationError(
+                    f"{label} must be {_KIND_PHRASES[kind]}, got {value!r}"
+                )
+            if self.choices is not None and value not in self.choices:
+                raise ConfigurationError(
+                    f"{label} must be one of {sorted(self.choices)}, "
+                    f"got {value!r}"
+                )
+            return value
+        if kind == "ints":
+            if isinstance(value, (str, bytes, Mapping)) or not isinstance(
+                value, Sequence
+            ):
+                raise ConfigurationError(
+                    f"{label} must be {_KIND_PHRASES[kind]}, got {value!r}"
+                )
+            items = []
+            for item in value:
+                if isinstance(item, bool) or not isinstance(item, int):
+                    raise ConfigurationError(
+                        f"{label} must be {_KIND_PHRASES[kind]}, "
+                        f"got element {item!r}"
+                    )
+                self._check_minimum(item, label)
+                items.append(item)
+            return tuple(items)
+        # kind == "weights"
+        if isinstance(value, Mapping):
+            normalized: Dict[str, float] = {}
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise ConfigurationError(
+                        f"{label} mapping keys must be ids, got {key!r}"
+                    )
+                normalized[key] = self._weight(item, label)
+            return normalized
+        if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+            raise ConfigurationError(
+                f"{label} must be {_KIND_PHRASES['weights']}, got {value!r}"
+            )
+        return tuple(self._weight(item, label) for item in value)
+
+    def _weight(self, item: Any, label: str) -> float:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise ConfigurationError(
+                f"{label} must hold numbers, got {item!r}"
+            )
+        if not item > 0:
+            raise ConfigurationError(
+                f"{label} must hold positive values, got {item!r}"
+            )
+        return float(item)
+
+    def _check_minimum(self, value: Any, label: str) -> None:
+        if self.minimum is not None and value < self.minimum:
+            raise ConfigurationError(
+                f"{label} must be >= {self.minimum:g}, got {value!r}"
+            )
+
+    def parse_text(self, text: str, owner: str) -> Any:
+        """Parse a CLI ``key=value`` string's value half into this kind."""
+        label = f"option {self.name!r} of {owner}"
+        kind = self.kind
+        try:
+            if kind == "int":
+                return self.validate(int(text), owner)
+            if kind == "float":
+                return self.validate(float(text), owner)
+            if kind == "bool":
+                lowered = text.strip().lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    return True
+                if lowered in ("0", "false", "no", "off"):
+                    return False
+                raise ConfigurationError(
+                    f"{label} must be a boolean (true/false), got {text!r}"
+                )
+            if kind == "ints":
+                return self.validate(
+                    [int(part) for part in text.split(",") if part.strip()],
+                    owner,
+                )
+            if kind == "weights":
+                return self.validate(
+                    [
+                        float(part)
+                        for part in text.split(",")
+                        if part.strip()
+                    ],
+                    owner,
+                )
+        except ValueError:
+            raise ConfigurationError(
+                f"{label} must be {_KIND_PHRASES[kind]}, got {text!r}"
+            )
+        return self.validate(text, owner)  # str
+
+
+def resolve_options(
+    schema: Sequence[OptionSpec],
+    options: Optional[Mapping[str, Any]],
+    owner: str,
+) -> Dict[str, Any]:
+    """Validate ``options`` against ``schema``; fill defaults.
+
+    Args:
+        schema: The declared options, in declaration order.
+        options: Caller-supplied keyword options (may be None/empty).
+        owner: Human-readable owner, e.g. ``"strategy 'rpdp'"`` — used
+            in every error message.
+
+    Raises:
+        ConfigurationError: on unknown keys or invalid values.  A
+            non-empty ``options`` against an empty schema reports that
+            the owner declares no options.
+    """
+    supplied = dict(options or {})
+    by_name = {spec.name: spec for spec in schema}
+    unknown = sorted(set(supplied) - set(by_name))
+    if unknown:
+        if by_name:
+            raise ConfigurationError(
+                f"unknown option(s) {unknown} for {owner}; declared: "
+                f"{sorted(by_name)}"
+            )
+        raise ConfigurationError(
+            f"{owner} declares no options, got {unknown}"
+        )
+    resolved: Dict[str, Any] = {}
+    for spec in schema:
+        if spec.name in supplied:
+            resolved[spec.name] = spec.validate(supplied[spec.name], owner)
+        else:
+            resolved[spec.name] = spec.default
+    return resolved
+
+
+def parse_option_text(
+    schema: Sequence[OptionSpec],
+    pairs: Sequence[str],
+    owner: str,
+) -> Dict[str, Any]:
+    """Turn CLI ``key=value`` strings into a typed options dict.
+
+    Unknown keys and malformed values raise ``ConfigurationError`` with
+    the same messages as :func:`resolve_options`, so ``--strategy-opt``
+    errors read identically to programmatic ones.  Returns only the
+    supplied options (defaults are filled later by the registry).
+    """
+    by_name = {spec.name: spec for spec in schema}
+    parsed: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, text = pair.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ConfigurationError(
+                f"strategy options must be key=value, got {pair!r}"
+            )
+        spec = by_name.get(key)
+        if spec is None:
+            if by_name:
+                raise ConfigurationError(
+                    f"unknown option(s) [{key!r}] for {owner}; declared: "
+                    f"{sorted(by_name)}"
+                )
+            raise ConfigurationError(
+                f"{owner} declares no options, got [{key!r}]"
+            )
+        parsed[key] = spec.parse_text(text, owner)
+    return parsed

@@ -14,9 +14,10 @@ Single-copy placers (the ``placeonecopy`` role):
   non-adaptive.
 
 Replication strategies are populated by :mod:`repro.placement.trivial`,
-:mod:`repro.placement.rush`, :mod:`repro.placement.crush` and
-:mod:`repro.placement.striping`; the paper's own strategy lives in
-:mod:`repro.core`.
+:mod:`repro.placement.rush`, :mod:`repro.placement.crush`,
+:mod:`repro.placement.striping` and :mod:`repro.placement.rpdp`; the
+paper's own strategy (and the reallocation-free Sequential Checking)
+lives in :mod:`repro.core`.
 """
 
 from .alias_placer import AliasPlacer, AliasWeightedPlacer, make_alias
@@ -46,12 +47,13 @@ from .crush import (
 )
 from .registry import (
     StrategyEntry,
-    build_strategy,
     create,
+    lookup,
     registered_strategies,
     strategy_names,
 )
 from .rendezvous import RendezvousPlacer, WeightedRendezvous, make_rendezvous
+from .rpdp import ResidualPerformancePlacement, utilization
 from .rush import RushStrategy, SubCluster, rush_from_capacities, rush_tree
 from .share import SharePlacer, default_stretch
 from .share_weighted import ShareWeightedPlacer, make_share
@@ -72,6 +74,7 @@ __all__ = [
     "ConsistentHashingPlacer",
     "CrushStrategy",
     "ListBucket",
+    "ResidualPerformancePlacement",
     "RushStrategy",
     "StrategyEntry",
     "Straw2Bucket",
@@ -92,10 +95,10 @@ __all__ = [
     "SingleCopyPlacer",
     "WeightedPlacer",
     "WeightedRendezvous",
-    "build_strategy",
     "check_placement",
     "create",
     "default_stretch",
+    "lookup",
     "make_alias",
     "make_bucket",
     "make_rendezvous",
@@ -108,4 +111,5 @@ __all__ = [
     "trivial_miss_probability",
     "trivial_wasted_fraction",
     "two_level_map",
+    "utilization",
 ]

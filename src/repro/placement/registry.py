@@ -1,35 +1,67 @@
 """Name-keyed registry of the batch-placeable replication strategies.
 
-One place that knows how to build every strategy with a uniform
-``(bins, copies)`` constructor shape — the CLI, the throughput bench and
-the perf smoke job all iterate the same table instead of each keeping a
+One place that knows how to build every strategy from a name, a flat bin
+list and a replication degree — the CLI, the throughput bench and the
+perf smoke job all iterate the same table instead of each keeping a
 private (and inevitably diverging) list.  Strategies whose constructors
 need extra topology (RUSH wants sub-clusters, the hierarchical variant
 wants racks) are deliberately absent: they cannot be built from a flat
 bin list.
 
+Two things make the table expressive enough for the full zoo:
+
+* **Typed per-strategy options.**  Each :class:`StrategyEntry` declares
+  an :class:`~repro.options.OptionSpec` schema for whatever its
+  constructor needs beyond ``(bins, copies)`` — RPDP's per-device
+  service rates, Sequential Checking's device generations, weighted
+  striping's pattern resolution.  :func:`create` validates keyword
+  options against the schema (unknown keys, wrong types and options
+  passed to a strategy that declares none all raise
+  :class:`~repro.exceptions.ConfigurationError`) and fills defaults, so
+  no consumer needs a private construction path.
+
+* **Capability flags.**  ``supports_scale_out``, ``movement_class`` and
+  ``heterogeneity_aware`` describe what each strategy guarantees, so
+  sweeps (the trade-off bench, ``repro compare``) can select and label
+  contenders without hard-coding knowledge about them.
+
 :func:`create` is the **canonical public factory**: every consumer that
 builds a strategy from a name — the CLI, ``repro stats``, ``repro
-chaos``, the throughput bench — goes through it, so name resolution,
-alias handling and fixed-``copies`` strategies behave identically
-everywhere.  The older :func:`build_strategy` spelling is kept as a
-deprecated shim.
-
-Each entry records whether the strategy has a *vectorized* ``place_many``
-engine; the bench uses that flag to pick its address population and to
-assert that vectorization never loses to the scalar loop.
+chaos``, ``repro serve``, the benches — goes through it, so name
+resolution, alias handling, fixed-``copies`` strategies and option
+validation behave identically everywhere.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..exceptions import ConfigurationError
+from ..options import OptionSpec, resolve_options
 from ..types import BinSpec
 from .base import ReplicationStrategy
 
-Factory = Callable[[Sequence[BinSpec], int], ReplicationStrategy]
+#: Factories receive the *resolved* options dict (defaults filled,
+#: values validated) as their third argument.
+Factory = Callable[
+    [Sequence[BinSpec], int, Mapping[str, Any]], ReplicationStrategy
+]
+
+#: Accepted ``movement_class`` values, best to worst: ``zero`` (adding
+#: devices moves nothing), ``bounded`` (the paper's competitive-factor
+#: family), ``proportional`` (hash-based ~1/n churn), ``full`` (the
+#: pattern is rebuilt; nearly everything moves).
+MOVEMENT_CLASSES = ("zero", "bounded", "proportional", "full")
 
 
 @dataclass(frozen=True)
@@ -50,12 +82,44 @@ class StrategyEntry:
     #: instance to label the engine.
     kernel: Optional[str] = None
     aliases: Tuple[str, ...] = field(default=())
+    #: Typed schema of the strategy's extra constructor parameters;
+    #: empty means ``create`` accepts no keyword options for this entry.
+    options: Tuple[OptionSpec, ...] = field(default=())
+    #: Whether adding devices to an existing deployment is a supported
+    #: operation, i.e. movement stays within ``movement_class`` instead
+    #: of degenerating to a rebuild.
+    supports_scale_out: bool = True
+    #: Expected data movement when a device is added (see
+    #: :data:`MOVEMENT_CLASSES`).
+    movement_class: str = "proportional"
+    #: Whether the strategy targets the Lemma 2.2 clipped fair shares on
+    #: heterogeneous bins (the trivial baseline provably misses them,
+    #: Lemma 2.4).
+    heterogeneity_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.movement_class not in MOVEMENT_CLASSES:
+            raise ValueError(
+                f"movement_class must be one of {MOVEMENT_CLASSES}, "
+                f"got {self.movement_class!r}"
+            )
 
     def build(
-        self, bins: Sequence[BinSpec], copies: int
+        self,
+        bins: Sequence[BinSpec],
+        copies: int,
+        options: Optional[Mapping[str, Any]] = None,
     ) -> ReplicationStrategy:
-        """Instantiate for ``bins``, honouring a fixed replication degree."""
-        return self.factory(bins, self.effective_copies(copies))
+        """Instantiate for ``bins``, honouring the fixed degree and schema.
+
+        ``options`` are validated against :attr:`options` (defaults
+        filled) before the factory runs; see
+        :func:`repro.options.resolve_options` for the error contract.
+        """
+        resolved = resolve_options(
+            self.options, options, f"strategy {self.name!r}"
+        )
+        return self.factory(bins, self.effective_copies(copies), resolved)
 
     def effective_copies(self, copies: int) -> int:
         """The replication degree actually used for a requested ``copies``."""
@@ -69,60 +133,151 @@ def _build_registry() -> Dict[str, StrategyEntry]:
     from ..core.classic import ClassicLinMirror
     from ..core.fast_variant import FastRedundantShare
     from ..core.redundant_share import LinMirror, RedundantShare
+    from ..core.sequential_checking import SequentialChecking
     from .crush import CrushStrategy
+    from .rpdp import ResidualPerformancePlacement
     from .striping import WeightedStripingStrategy
     from .trivial import TrivialReplication
 
     entries = [
         StrategyEntry(
             "redundant-share",
-            lambda bins, copies: RedundantShare(bins, copies=copies),
+            lambda bins, copies, opts: RedundantShare(bins, copies=copies),
             vectorized=True,
             kernel=RedundantShare.kernel,
+            movement_class="bounded",
         ),
         StrategyEntry(
             "lin-mirror",
-            lambda bins, copies: LinMirror(bins),
+            lambda bins, copies, opts: LinMirror(bins),
             fixed_copies=2,
             vectorized=True,
             kernel=LinMirror.kernel,
+            movement_class="bounded",
         ),
         StrategyEntry(
             "fast-redundant-share",
-            lambda bins, copies: FastRedundantShare(bins, copies=copies),
+            lambda bins, copies, opts: FastRedundantShare(
+                bins, copies=copies
+            ),
             vectorized=True,
             kernel=FastRedundantShare.kernel,
             aliases=("fast",),
+            movement_class="bounded",
         ),
         StrategyEntry(
             "trivial",
-            lambda bins, copies: TrivialReplication(bins, copies=copies),
+            lambda bins, copies, opts: TrivialReplication(
+                bins, copies=copies
+            ),
             vectorized=True,
             kernel=TrivialReplication.kernel,
+            movement_class="proportional",
+            heterogeneity_aware=False,
         ),
         StrategyEntry(
             "classic-lin-mirror",
-            lambda bins, copies: ClassicLinMirror(bins),
+            lambda bins, copies, opts: ClassicLinMirror(bins),
             fixed_copies=2,
+            movement_class="bounded",
         ),
         StrategyEntry(
             "crush",
-            lambda bins, copies: CrushStrategy(bins, copies=copies),
+            lambda bins, copies, opts: CrushStrategy(bins, copies=copies),
             vectorized=True,
             kernel=CrushStrategy.kernel,
+            movement_class="proportional",
         ),
         StrategyEntry(
             "weighted-striping",
-            lambda bins, copies: WeightedStripingStrategy(bins, copies=copies),
+            lambda bins, copies, opts: WeightedStripingStrategy(
+                bins, copies=copies, resolution=opts["resolution"]
+            ),
             vectorized=True,
             kernel=WeightedStripingStrategy.kernel,
             aliases=("striping",),
+            options=(
+                OptionSpec(
+                    "resolution",
+                    "int",
+                    default=64,
+                    minimum=1,
+                    doc="average pattern slots per disk (fairness/memory "
+                    "trade-off)",
+                ),
+            ),
+            supports_scale_out=False,
+            movement_class="full",
         ),
         StrategyEntry(
             "balanced-rendezvous",
-            lambda bins, copies: BalancedRendezvous(bins, copies=copies),
+            lambda bins, copies, opts: BalancedRendezvous(
+                bins, copies=copies
+            ),
             vectorized=True,
             kernel=BalancedRendezvous.kernel,
+            movement_class="proportional",
+        ),
+        StrategyEntry(
+            "sequential-checking",
+            lambda bins, copies, opts: SequentialChecking(
+                bins,
+                copies=copies,
+                generations=opts["generations"],
+                overflow=opts["overflow"],
+            ),
+            vectorized=True,
+            kernel=SequentialChecking.kernel,
+            aliases=("seq-check",),
+            options=(
+                OptionSpec(
+                    "generations",
+                    "ints",
+                    default=None,
+                    minimum=1,
+                    doc="device-group sizes in addition order (must sum to "
+                    "the bin count); default: one generation per device",
+                ),
+                OptionSpec(
+                    "overflow",
+                    "str",
+                    default="wrap",
+                    choices=("wrap", "error"),
+                    doc="what to do with addresses beyond the capacity "
+                    "limit: fold them back into the address space, or "
+                    "raise",
+                ),
+            ),
+            movement_class="zero",
+        ),
+        StrategyEntry(
+            "rpdp",
+            lambda bins, copies, opts: ResidualPerformancePlacement(
+                bins,
+                copies=copies,
+                service_rates=opts["service_rates"],
+                clip_rates=opts["clip_rates"],
+            ),
+            vectorized=True,
+            kernel=ResidualPerformancePlacement.kernel,
+            aliases=("residual-performance",),
+            options=(
+                OptionSpec(
+                    "service_rates",
+                    "weights",
+                    default=None,
+                    doc="per-device service rates, positional or keyed by "
+                    "bin id; default: the capacities",
+                ),
+                OptionSpec(
+                    "clip_rates",
+                    "bool",
+                    default=True,
+                    doc="clip rate shares at the Lemma 2.2 water-fill "
+                    "limit before weighting draws",
+                ),
+            ),
+            movement_class="proportional",
         ),
     ]
     return {entry.name: entry for entry in entries}
@@ -145,7 +300,12 @@ def registered_strategies() -> List[StrategyEntry]:
 
 
 def strategy_names(include_aliases: bool = False) -> List[str]:
-    """Accepted names, canonical first, optionally with aliases."""
+    """Accepted names, canonical first, optionally with aliases.
+
+    Sweeps (benches, ``repro compare``) must iterate the default
+    alias-free form: every canonical name appears exactly once, so no
+    strategy is run twice under two spellings.
+    """
     names: List[str] = []
     for entry in registered_strategies():
         names.append(entry.name)
@@ -158,7 +318,9 @@ def lookup(name: str) -> StrategyEntry:
     """Resolve a canonical name or alias.
 
     Raises:
-        KeyError: with the list of accepted names when unknown.
+        ConfigurationError: when unknown, listing the canonical names
+            (each once — aliases resolve but are not advertised as
+            distinct strategies).
     """
     table = registry()
     if name in table:
@@ -166,50 +328,41 @@ def lookup(name: str) -> StrategyEntry:
     for entry in table.values():
         if name in entry.aliases:
             return entry
-    raise KeyError(
-        f"unknown strategy {name!r}; choose from "
-        f"{sorted(strategy_names(include_aliases=True))}"
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; choose from {sorted(strategy_names())}"
     )
 
 
 def create(
-    name: str, bins: Sequence[BinSpec], *, copies: int = 2
+    name: str,
+    bins: Sequence[BinSpec],
+    *,
+    copies: int = 2,
+    **options: Any,
 ) -> ReplicationStrategy:
     """Build the strategy registered under ``name`` (or an alias).
 
     This is the canonical construction path for every name-addressed
     strategy: it resolves aliases, honours fixed replication degrees
-    (``lin-mirror`` is k = 2 whatever was requested) and builds with the
-    registry's uniform ``(bins, copies)`` shape.  Prefer it over importing
-    and instantiating strategy classes ad hoc — call sites built through
-    the registry keep working when entries are renamed or re-parameterised.
+    (``lin-mirror`` is k = 2 whatever was requested), validates keyword
+    options against the entry's typed schema and builds with the
+    registry's uniform shape.  Prefer it over importing and
+    instantiating strategy classes ad hoc — call sites built through
+    the registry keep working when entries are renamed or
+    re-parameterised.
 
     Args:
         name: Canonical strategy name or alias (see :func:`strategy_names`).
         bins: Device specs to place over.
         copies: Requested replication degree ``k`` (keyword-only; ignored
             by strategies with a fixed degree).
+        **options: Per-strategy options declared by the entry's schema,
+            e.g. ``create("rpdp", bins, copies=3, service_rates=(4, 2, 1))``
+            or ``create("weighted-striping", bins, resolution=128)``.
 
     Raises:
-        KeyError: for unknown names, listing the accepted ones.
-        ConfigurationError: if the entry rejects the bins/copies combination.
+        ConfigurationError: for unknown names (listing the accepted
+            ones), unknown or ill-typed options, or if the entry rejects
+            the bins/copies combination.
     """
-    return lookup(name).build(bins, copies)
-
-
-def build_strategy(
-    name: str, bins: Sequence[BinSpec], copies: int
-) -> ReplicationStrategy:
-    """Deprecated spelling of :func:`create`.
-
-    .. deprecated::
-        Use ``create(name, bins, copies=...)`` — the keyword-only signature
-        the rest of the library standardised on.
-    """
-    warnings.warn(
-        "build_strategy() is deprecated; use "
-        "repro.placement.registry.create(name, bins, copies=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return create(name, bins, copies=copies)
+    return lookup(name).build(bins, copies, options)

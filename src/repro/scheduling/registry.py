@@ -4,14 +4,26 @@ Everything that takes a read policy by name — the CLI, the trace
 player, the service client, the benches — resolves it here, so policy
 names stay consistent across layers and ablations can sweep
 ``scheduler_names()`` without hard-coding a list.
+
+The surface deliberately matches the placement registry's: ``lookup``
+raises :class:`~repro.exceptions.ConfigurationError` listing canonical
+names (aliases resolve but are not advertised as distinct policies),
+``create(name, ..., **options)`` validates keyword options against each
+entry's typed :class:`~repro.options.OptionSpec` schema, and
+``scheduler_names()`` / ``registered_schedulers()`` sweep without
+duplicates.  Only the randomised policies declare a ``namespace``
+option (it salts their draws); deterministic policies declare none, so
+passing options to them is a configuration error, same as on the
+placement side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..options import OptionSpec, resolve_options
 from .base import ReadScheduler
 from .cache import LruCacheModel
 from .policies import (
@@ -23,6 +35,14 @@ from .policies import (
 )
 from .water_filling import WaterFillingScheduler
 
+#: Shared schema fragment for the policies whose draws are salted.
+_NAMESPACE_OPTION = OptionSpec(
+    "namespace",
+    "str",
+    default="",
+    doc="salt prefix isolating this policy's hash draws from others",
+)
+
 
 @dataclass(frozen=True)
 class SchedulerEntry:
@@ -33,6 +53,9 @@ class SchedulerEntry:
     summary: str
     online: bool = True
     aliases: Tuple[str, ...] = field(default_factory=tuple)
+    #: Typed schema of the policy's extra constructor parameters; empty
+    #: means ``create`` accepts no keyword options for this entry.
+    options: Tuple[OptionSpec, ...] = field(default=())
 
     def build(
         self,
@@ -40,9 +63,18 @@ class SchedulerEntry:
         *,
         seed: int = 0,
         cache: Optional[LruCacheModel] = None,
+        options: Optional[Dict[str, Any]] = None,
     ) -> ReadScheduler:
-        """Instantiate the policy over ``device_ids``."""
-        return self.factory(device_ids, seed=seed, cache=cache)
+        """Instantiate the policy over ``device_ids``.
+
+        ``options`` are validated against :attr:`options` (defaults
+        filled) before the factory runs; see
+        :func:`repro.options.resolve_options` for the error contract.
+        """
+        resolved = resolve_options(
+            self.options, options, f"policy {self.name!r}"
+        )
+        return self.factory(device_ids, seed=seed, cache=cache, **resolved)
 
 
 _ENTRIES: Tuple[SchedulerEntry, ...] = (
@@ -56,12 +88,14 @@ _ENTRIES: Tuple[SchedulerEntry, ...] = (
         name="random",
         factory=RandomScheduler,
         summary="seeded uniform draw over the available copies",
+        options=(_NAMESPACE_OPTION,),
     ),
     SchedulerEntry(
         name="round-robin",
         factory=RoundRobinScheduler,
         summary="per-address rotation over the available copies",
         aliases=("rotate", "round_robin"),
+        options=(_NAMESPACE_OPTION,),
     ),
     SchedulerEntry(
         name="least-loaded",
@@ -74,6 +108,7 @@ _ENTRIES: Tuple[SchedulerEntry, ...] = (
         factory=PowerOfTwoScheduler,
         summary="two seeded candidates, route to the less loaded",
         aliases=("po2", "power_of_two", "power-of-two-choices"),
+        options=(_NAMESPACE_OPTION,),
     ),
     SchedulerEntry(
         name="water-filling",
@@ -96,13 +131,14 @@ def lookup(name: str) -> SchedulerEntry:
 
     Raises:
         ConfigurationError: for an unregistered name, listing the
-            canonical policy names.
+            canonical policy names (each once — aliases resolve but are
+            not advertised as distinct policies).
     """
     entry = _BY_NAME.get(name)
     if entry is None:
-        known = ", ".join(sorted(entry.name for entry in _ENTRIES))
         raise ConfigurationError(
-            f"unknown read-scheduling policy {name!r}; registered: {known}"
+            f"unknown scheduling policy {name!r}; choose from "
+            f"{sorted(scheduler_names())}"
         )
     return entry
 
@@ -113,15 +149,29 @@ def create(
     *,
     seed: int = 0,
     cache: Optional[LruCacheModel] = None,
+    **options: Any,
 ) -> ReadScheduler:
-    """Build the policy registered under ``name`` over ``device_ids``."""
-    return lookup(name).build(device_ids, seed=seed, cache=cache)
+    """Build the policy registered under ``name`` over ``device_ids``.
+
+    Keyword options beyond ``seed``/``cache`` are validated against the
+    entry's typed schema, exactly like the placement registry's
+    ``create`` — unknown names, unknown option keys and ill-typed values
+    all raise :class:`~repro.exceptions.ConfigurationError`.
+    """
+    return lookup(name).build(
+        device_ids, seed=seed, cache=cache, options=options
+    )
 
 
 def scheduler_names(
     *, include_aliases: bool = False, online_only: bool = False
 ) -> Tuple[str, ...]:
-    """Registered policy names, in registration order."""
+    """Registered policy names, in registration order.
+
+    Sweeps must iterate the default alias-free form: every canonical
+    name appears exactly once, so no policy runs twice under two
+    spellings.
+    """
     names = []
     for entry in _ENTRIES:
         if online_only and not entry.online:

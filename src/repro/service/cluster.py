@@ -35,6 +35,8 @@ class ServiceCluster:
         bins: The placement devices; one blockstore shard backs each.
         strategy: Registry name (or alias) of the placement strategy.
         copies: Requested replication degree ``k``.
+        strategy_options: Per-strategy options validated against the
+            registry entry's schema (e.g. RPDP's ``service_rates``).
         host: Bind host for every server.
         port: Metastore port; blockstores take ``port+1 .. port+N``.
             ``0`` (default) gives every server an OS-assigned port —
@@ -47,6 +49,7 @@ class ServiceCluster:
         *,
         strategy: str = "redundant-share",
         copies: int = 3,
+        strategy_options: Optional[Dict] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -59,6 +62,7 @@ class ServiceCluster:
             )
         self.bins = list(bins)
         self.strategy_name = strategy
+        self.strategy_options = dict(strategy_options or {})
         self.copies = copies
         self.host = host
         self._base_port = port
@@ -110,6 +114,7 @@ class ServiceCluster:
             self.bins,
             strategy=self.strategy_name,
             copies=self.copies,
+            strategy_options=self.strategy_options,
             blockstores=endpoints,
             host=self.host,
             port=self._base_port,

@@ -45,17 +45,22 @@ class MetastoreServer(RpcServer):
         *,
         strategy: str = "redundant-share",
         copies: int = 3,
+        strategy_options: Optional[Mapping[str, Any]] = None,
         blockstores: Optional[Mapping[str, Tuple[str, int]]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         **kwargs,
     ) -> None:
         super().__init__(host, port, **kwargs)
-        entry = lookup(strategy)  # KeyError with accepted names when unknown
+        # ConfigurationError with accepted names when unknown.
+        entry = lookup(strategy)
         self._bins = list(bins)
         self.strategy_name = entry.name
+        self.strategy_options = dict(strategy_options or {})
         self.copies = entry.effective_copies(copies)
-        self.strategy = create(entry.name, self._bins, copies=copies)
+        self.strategy = create(
+            entry.name, self._bins, copies=copies, **self.strategy_options
+        )
         self._blockstores: Dict[str, Tuple[str, int]] = {
             device: (endpoint[0], int(endpoint[1]))
             for device, endpoint in (blockstores or {}).items()
@@ -98,6 +103,10 @@ class MetastoreServer(RpcServer):
     async def _op_config(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {
             "strategy": self.strategy_name,
+            "strategy_options": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in sorted(self.strategy_options.items())
+            },
             "copies": self.copies,
             "bins": [
                 [spec.bin_id, spec.capacity] for spec in self._bins

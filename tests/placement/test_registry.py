@@ -2,15 +2,16 @@
 
 import pytest
 
-from repro.core import FastRedundantShare, LinMirror, RedundantShare
+from repro.core import FastRedundantShare, LinMirror, SequentialChecking
+from repro.exceptions import ConfigurationError
 from repro.placement import (
+    ResidualPerformancePlacement,
     TrivialReplication,
-    build_strategy,
     create,
     registered_strategies,
     strategy_names,
 )
-from repro.placement.registry import lookup
+from repro.placement.registry import MOVEMENT_CLASSES, lookup
 from repro.types import bins_from_capacities
 
 BINS = bins_from_capacities([120, 80, 200, 40, 160])
@@ -28,6 +29,8 @@ def test_canonical_names_are_unique_and_stable():
         "crush",
         "weighted-striping",
         "balanced-rendezvous",
+        "sequential-checking",
+        "rpdp",
     ):
         assert expected in names
 
@@ -35,12 +38,20 @@ def test_canonical_names_are_unique_and_stable():
 def test_aliases_resolve_to_canonical_entries():
     assert lookup("fast").name == "fast-redundant-share"
     assert lookup("striping").name == "weighted-striping"
+    assert lookup("seq-check").name == "sequential-checking"
+    assert lookup("residual-performance").name == "rpdp"
     assert "fast" in strategy_names(include_aliases=True)
 
 
-def test_unknown_name_raises_with_choices():
-    with pytest.raises(KeyError, match="unknown strategy"):
+def test_unknown_name_raises_with_canonical_choices():
+    with pytest.raises(ConfigurationError, match="unknown strategy") as info:
         lookup("definitely-not-a-strategy")
+    message = str(info.value)
+    # The choices list names each strategy exactly once — canonical
+    # names only, no aliases doubling entries up.
+    assert "'rpdp'" in message
+    assert "residual-performance" not in message
+    assert "seq-check" not in message
 
 
 def test_create_honours_copies_and_fixed_copies():
@@ -57,10 +68,68 @@ def test_create_defaults_to_mirroring():
     assert create("redundant-share", BINS).copies == 2
 
 
-def test_build_strategy_is_a_deprecated_alias():
-    with pytest.warns(DeprecationWarning, match="create"):
-        strategy = build_strategy("redundant-share", BINS, 3)
-    assert strategy.copies == 3
+def test_create_threads_typed_options_through():
+    sc = create("sequential-checking", BINS, copies=2)
+    assert isinstance(sc, SequentialChecking)
+    rpdp = create(
+        "rpdp", BINS, copies=3, service_rates=(1.0, 2.0, 4.0, 8.0, 16.0)
+    )
+    assert isinstance(rpdp, ResidualPerformancePlacement)
+    assert rpdp.copies == 3
+    striping = create("weighted-striping", BINS, copies=2, resolution=128)
+    assert striping._resolution == 128
+
+
+def test_unknown_option_key_is_rejected_with_declared_names():
+    with pytest.raises(ConfigurationError, match="unknown option"):
+        create("rpdp", BINS, copies=2, service_rate=(1, 2, 3, 4, 5))
+    with pytest.raises(ConfigurationError, match="'service_rates'"):
+        create("rpdp", BINS, copies=2, bogus=1)
+
+
+def test_wrong_option_type_is_rejected():
+    with pytest.raises(ConfigurationError, match="resolution"):
+        create("weighted-striping", BINS, copies=2, resolution="wide")
+    with pytest.raises(ConfigurationError, match="clip_rates"):
+        create("rpdp", BINS, copies=2, clip_rates="maybe")
+    with pytest.raises(ConfigurationError, match="overflow"):
+        create("sequential-checking", BINS, copies=2, overflow="explode")
+
+
+def test_options_to_none_declaring_strategy_are_rejected():
+    with pytest.raises(ConfigurationError, match="declares no options"):
+        create("trivial", BINS, copies=2, resolution=64)
+
+
+def test_fixed_copies_entry_still_validates_options():
+    # lin-mirror pins k = 2 *and* declares no options; option validation
+    # must fire even on fixed-copies entries.
+    with pytest.raises(ConfigurationError, match="declares no options"):
+        create("lin-mirror", BINS, copies=5, resolution=64)
+
+
+def test_capability_flags_are_declared_and_legal():
+    by_name = {entry.name: entry for entry in registered_strategies()}
+    for entry in by_name.values():
+        assert entry.movement_class in MOVEMENT_CLASSES, entry.name
+    assert by_name["sequential-checking"].movement_class == "zero"
+    assert by_name["sequential-checking"].supports_scale_out
+    assert by_name["weighted-striping"].movement_class == "full"
+    assert not by_name["weighted-striping"].supports_scale_out
+    assert by_name["redundant-share"].movement_class == "bounded"
+    assert by_name["trivial"].movement_class == "proportional"
+    # Lemma 2.4: trivial ignores capacities; everyone else adapts.
+    assert not by_name["trivial"].heterogeneity_aware
+    assert by_name["rpdp"].heterogeneity_aware
+
+
+def test_option_schemas_expose_defaults_and_docs():
+    entry = lookup("sequential-checking")
+    specs = {spec.name: spec for spec in entry.options}
+    assert set(specs) == {"generations", "overflow"}
+    assert specs["overflow"].default == "wrap"
+    assert all(spec.doc for spec in entry.options)
+    assert lookup("trivial").options == ()
 
 
 def test_single_copy_and_replication_share_the_batch_signature():
@@ -103,3 +172,12 @@ def test_vectorized_flags_match_reality():
             type(strategy)._place_many_serial is not generic
         )
         assert overrides == entry.vectorized, entry.name
+
+
+def test_build_strategy_shim_is_gone():
+    import repro.placement as placement
+    import repro.placement.registry as registry
+
+    assert not hasattr(registry, "build_strategy")
+    assert not hasattr(placement, "build_strategy")
+    assert "build_strategy" not in placement.__all__

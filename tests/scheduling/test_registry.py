@@ -43,6 +43,16 @@ class TestLookup:
         with pytest.raises(ConfigurationError, match="power-of-two"):
             lookup("no-such-policy")
 
+    def test_unknown_name_message_lists_canonical_names_once(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown scheduling policy"
+        ) as info:
+            lookup("no-such-policy")
+        message = str(info.value)
+        assert "'round-robin'" in message
+        # Aliases never pad the choices list out.
+        assert "po2" not in message and "rotate" not in message
+
 
 class TestNames:
     def test_water_filling_is_offline(self):
@@ -88,3 +98,36 @@ class TestCreate:
         scheduler = create("water-filling", DEVICES)
         with pytest.raises(ConfigurationError, match="offline"):
             scheduler.choose(1, DEVICES[:3])
+
+
+class TestOptions:
+    """The scheduler registry mirrors the placement registry's typed
+    option schemas: declared keys with defaults, everything else a
+    :class:`ConfigurationError` naming the offender."""
+
+    def test_randomized_policies_declare_namespace(self):
+        for name in ("random", "round-robin", "power-of-two"):
+            specs = {spec.name: spec for spec in lookup(name).options}
+            assert set(specs) == {"namespace"}
+            assert specs["namespace"].default == ""
+
+    def test_namespace_option_threads_through_create(self):
+        tagged = create("power-of-two", DEVICES, seed=7, namespace="bench")
+        plain = create("power-of-two", DEVICES, seed=7)
+        assert tagged.name == plain.name == "power-of-two"
+        # A distinct namespace reshuffles the per-request draws.
+        picks = lambda s: [s.choose(a, DEVICES) for a in range(64)]
+        assert picks(tagged) != picks(plain)
+
+    def test_unknown_option_key_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown option"):
+            create("random", DEVICES, namespc="typo")
+
+    def test_wrong_option_type_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="namespace"):
+            create("round-robin", DEVICES, namespace=7)
+
+    def test_options_to_none_declaring_policy_are_rejected(self):
+        assert lookup("least-loaded").options == ()
+        with pytest.raises(ConfigurationError, match="declares no options"):
+            create("least-loaded", DEVICES, namespace="x")

@@ -389,3 +389,63 @@ class TestChaosFleetCli:
              "--failure-rate", "0.0", "--repair-rate", "20.0",
              "--strict"]
         ) == 0
+
+
+class TestStrategyOptionsCli:
+    """``--strategy-opt key=value`` flows through the registry schemas."""
+
+    def test_place_accepts_new_strategies(self, capsys):
+        assert main(
+            ["place", "--capacities", "5,4,3", "--count", "3",
+             "--strategy", "sequential-checking"]
+        ) == 0
+        assert capsys.readouterr().out.count("\n") == 3
+
+    def test_rpdp_rates_parse_from_the_command_line(self, capsys):
+        assert main(
+            ["place", "--capacities", "5,4,3", "--count", "3",
+             "--strategy", "rpdp", "--strategy-opt", "service_rates=1,2,4"]
+        ) == 0
+        assert capsys.readouterr().out.count("\n") == 3
+
+    def test_striping_resolution_option(self, capsys):
+        assert main(
+            ["fairness", "--capacities", "5,4,3", "--balls", "500",
+             "--strategy", "striping", "--strategy-opt", "resolution=8"]
+        ) == 0
+        assert "observed" in capsys.readouterr().out
+
+    def test_alias_resolves_before_option_validation(self, capsys):
+        assert main(
+            ["place", "--capacities", "5,4,3", "--count", "1",
+             "--strategy", "seq-check", "--strategy-opt", "overflow=wrap"]
+        ) == 0
+
+    def test_unknown_option_key_exits_with_declared_names(self):
+        with pytest.raises(SystemExit, match="service_rates"):
+            main(
+                ["place", "--capacities", "5,4,3",
+                 "--strategy", "rpdp", "--strategy-opt", "rates=1,2,3"]
+            )
+
+    def test_ill_typed_option_value_exits(self):
+        with pytest.raises(SystemExit, match="resolution"):
+            main(
+                ["place", "--capacities", "5,4,3",
+                 "--strategy", "striping",
+                 "--strategy-opt", "resolution=wide"]
+            )
+
+    def test_option_on_optionless_strategy_exits(self):
+        with pytest.raises(SystemExit, match="declares no options"):
+            main(
+                ["place", "--capacities", "5,4,3",
+                 "--strategy", "trivial", "--strategy-opt", "resolution=8"]
+            )
+
+    def test_malformed_pair_exits(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(
+                ["place", "--capacities", "5,4,3",
+                 "--strategy", "rpdp", "--strategy-opt", "service_rates"]
+            )
